@@ -1,0 +1,117 @@
+"""Shared benchmark machinery.
+
+Each benchmark regenerates one paper table or figure: it runs the relevant
+searches/simulations once (cached per session), prints the paper-style table
+through pytest's capture (visible in the benchmark log via ``emit``) and
+saves it under ``benchmarks/results/``.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALES`` — comma-separated GPU counts (default ``4,8,16,32``).
+* ``REPRO_BENCH_BEAM32`` — beam width for 32-GPU searches (default 48;
+  smaller is faster, exact search is ``0``/unset-able via ``-1``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+from repro import (
+    FabricProfiler,
+    PrimeParOptimizer,
+    TrainingSimulator,
+    build_block_graph,
+    v100_cluster,
+)
+from repro.baselines.alpa import alpa_optimizer
+from repro.baselines.megatron import best_megatron_plan
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Memory weight used for PrimePar's joint objective in all benchmarks.
+ALPHA = 2e-11
+
+
+def bench_scales() -> Tuple[int, ...]:
+    raw = os.environ.get("REPRO_BENCH_SCALES", "4,8,16,32")
+    return tuple(int(x) for x in raw.split(",") if x)
+
+
+def beam_for(n_devices: int) -> Optional[int]:
+    if n_devices < 32:
+        return None
+    raw = int(os.environ.get("REPRO_BENCH_BEAM32", "48"))
+    return None if raw < 0 else raw
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table through capture and persist it to disk."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    sys.__stdout__.write(banner)
+    sys.__stdout__.flush()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / f"{name}.txt", "w") as handle:
+        handle.write(text + "\n")
+
+
+class ComparisonCache:
+    """Caches per-(model, scale, batch) system comparisons for the session."""
+
+    def __init__(self) -> None:
+        self._profilers: Dict[int, FabricProfiler] = {}
+        self._results: Dict[Tuple, Dict] = {}
+
+    def profiler(self, n_devices: int) -> FabricProfiler:
+        if n_devices not in self._profilers:
+            self._profilers[n_devices] = FabricProfiler(v100_cluster(n_devices))
+        return self._profilers[n_devices]
+
+    def compare(self, model, n_devices: int, batch: int) -> Dict:
+        """Megatron (best d), Alpa and PrimePar reports for one setting."""
+        key = (model.name, n_devices, batch)
+        if key in self._results:
+            return self._results[key]
+        profiler = self.profiler(n_devices)
+        simulator = TrainingSimulator(profiler)
+        graph = build_block_graph(model.block_shape(batch=batch))
+        beam = beam_for(n_devices)
+        megatron = best_megatron_plan(
+            simulator, graph, batch, n_layers=model.n_layers
+        )
+        alpa_search = alpa_optimizer(profiler, beam=beam).optimize(graph)
+        alpa_report = simulator.run_model(
+            graph, alpa_search.plan, batch, model.n_layers
+        )
+        pp_search = PrimeParOptimizer(
+            profiler, alpha=ALPHA, beam=beam
+        ).optimize(graph)
+        pp_report = simulator.run_model(
+            graph, pp_search.plan, batch, model.n_layers
+        )
+        result = {
+            "graph": graph,
+            "megatron": megatron.report,
+            "megatron_config": (megatron.dp_degree, megatron.mp_degree),
+            "alpa": alpa_report,
+            "alpa_search": alpa_search,
+            "primepar": pp_report,
+            "primepar_search": pp_search,
+        }
+        self._results[key] = result
+        return result
+
+
+@pytest.fixture(scope="session")
+def comparisons() -> ComparisonCache:
+    return ComparisonCache()
+
+
+def default_batch(n_devices: int) -> int:
+    """Paper-style workload scaling: batch grows with the cluster (Fig. 9
+    pairs batch 8 with 8 GPUs and 16 with 16)."""
+    return max(8, min(n_devices, 32))

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Sweep 3D-parallelism configurations for a 100B-scale model (Fig. 10).
+
+Composes pipeline, data and tensor parallelism over a simulated 32-GPU
+cluster; each (p, d, m) configuration gets its tensor-parallel plan from
+Megatron-LM's manual strategy or from PrimePar's search (batch partitioning
+disabled — data parallelism is controlled externally).
+
+Run:  python examples/parallelism_3d.py [model-key]
+      model-key in: opt-6.7b opt-175b llama2-7b llama2-70b bloom-7b1 bloom-176b
+"""
+
+import sys
+
+from repro import MODELS_BY_KEY, Planner3D
+from repro.reporting.tables import format_table
+
+
+def main() -> None:
+    key = sys.argv[1] if len(sys.argv) > 1 else "llama2-70b"
+    model = MODELS_BY_KEY[key]
+    planner = Planner3D(
+        model, n_devices=32, global_batch=32, microbatch=4, alpha=2e-11
+    )
+
+    print(f"3D parallelism sweep: {model.name} on 32 simulated V100s\n")
+    megatron = {str(r.config): r for r in planner.sweep("megatron")}
+    primepar = {str(r.config): r for r in planner.sweep("primepar")}
+
+    rows = []
+    for config in megatron:
+        meg = megatron[config]
+        pp = primepar[config]
+        rows.append(
+            [
+                config,
+                f"{meg.throughput:.2f}",
+                f"{pp.throughput:.2f}",
+                f"{pp.throughput / meg.throughput:.2f}x",
+                f"{pp.pipeline.bubble_fraction * 100:.0f}%",
+                f"{pp.dp_allreduce_latency * 1e3:.0f}ms",
+            ]
+        )
+    print(
+        format_table(
+            ["(p,d,m)", "megatron", "primepar", "speedup", "bubble", "dp sync"],
+            rows,
+        )
+    )
+
+    best_meg = max(megatron.values(), key=lambda r: r.throughput)
+    best_pp = max(primepar.values(), key=lambda r: r.throughput)
+    print(f"\nBest Megatron: {best_meg.config} at {best_meg.throughput:.2f} samples/s")
+    print(f"Best PrimePar: {best_pp.config} at {best_pp.throughput:.2f} samples/s")
+    print(f"Peak-to-peak speedup: {best_pp.throughput / best_meg.throughput:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Numerically verify the spatial-temporal primitive on a virtual cluster.
+
+Executes real (numpy) Forward/Backward/Gradient training of a partitioned
+linear operator — with explicit per-step ring transfers per paper Table 1 —
+and checks the results bit-close against single-device training, while
+counting the communication each strategy actually used.
+
+This demonstrates the primitive's three features end to end:
+  1. collective-communication free,
+  2. no tensor replication,
+  3. phase alignment (iterations chain with no redistribution).
+
+Run:  python examples/verify_primitive.py
+"""
+
+from repro import PartitionSpec, verify_spec
+from repro.core import analysis
+from repro.core.dims import LINEAR_SIGNATURES, Phase
+from repro.core.primitive import pure_primitive_spec, verify_features
+
+STRATEGIES = [
+    ("B-N", 2, "conventional: data parallel x row parallel"),
+    ("N-N", 2, "conventional: row parallel (Megatron fc2)"),
+    ("P2x2", 2, "the paper's primitive, 4 devices"),
+    ("P4x4", 4, "the paper's primitive, 16 devices"),
+    ("N-P2x2", 3, "paper Fig. 9: PrimePar fc2 at 8 GPUs"),
+    ("B-N-P2x2", 4, "paper Fig. 9: PrimePar fc2 at 16 GPUs"),
+    ("P2x2-P2x2", 4, "nested primitives"),
+]
+
+
+def main() -> None:
+    print("Feature checks (collective-free, no replication, aligned):")
+    for k in (1, 2, 3):
+        print(f"  P_{{2^{k} x 2^{k}}}: {verify_features(k)}")
+
+    print("\nTable 1 ring schedule for P2x2 (device (0,0) receives from):")
+    spec = pure_primitive_spec(1)
+    for phase, signature in LINEAR_SIGNATURES.items():
+        transfers = [
+            t for t in analysis.ring_transfers(spec, signature)
+            if t.dst.rank == 0
+        ]
+        rendered = ", ".join(f"{t.tensor}<-dev{t.src.rank}" for t in transfers)
+        print(f"  {phase.value}: {rendered or '(nothing)'}")
+
+    print("\nEnd-to-end training equivalence vs single device:")
+    header = f"  {'strategy':<12s} {'devices':>7s} {'all-reduce':>10s} {'p2p msgs':>9s} {'max |err|':>10s}"
+    print(header)
+    for text, n_bits, note in STRATEGIES:
+        spec = PartitionSpec.from_string(text, n_bits)
+        report = verify_spec(spec)
+        err = max(report.max_errors.values())
+        status = "OK " if report.passed else "FAIL"
+        print(
+            f"  {text:<12s} {2**n_bits:>7d} {report.allreduce_invocations:>10d} "
+            f"{report.p2p_messages:>9d} {err:>10.2e}  {status} ({note})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,1 @@
+"""Baselines: Megatron-LM plans, the Alpa stand-in, ZeRO, ideal memory."""

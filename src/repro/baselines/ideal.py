@@ -1,0 +1,40 @@
+"""Ideal (zero-replication) peak-memory lower bound — paper Fig. 2(b).
+
+The ideal scenario assumes no tensor is ever replicated: every parameter,
+gradient and stashed activation lives on exactly one device, so per-device
+peak memory is the global footprint divided by the device count.
+"""
+
+from __future__ import annotations
+
+from ..core.dims import Dim
+from ..graph.graph import ComputationGraph
+from ..graph.operators import OpKind
+from ..graph.tensors import DTYPE_BYTES
+
+
+def global_footprint_bytes(graph: ComputationGraph) -> float:
+    """Total unpartitioned params + grads + stash of one graph instance."""
+    total = 0.0
+    for node in graph.nodes:
+        params = node.parameter_elements()
+        total += 2 * params * node.weight_dtype_bytes  # weights + gradients
+        if not node.stash_inputs:
+            continue
+        if node.kind is OpKind.LINEAR:
+            stash = (
+                node.dim_size(Dim.B) * node.dim_size(Dim.M) * node.dim_size(Dim.N)
+            )
+        elif node.kind is OpKind.MATMUL:
+            b, m = node.dim_size(Dim.B), node.dim_size(Dim.M)
+            n, k = node.dim_size(Dim.N), node.dim_size(Dim.K)
+            stash = b * m * n + b * n * k
+        else:
+            stash = node.output_elements()
+        total += stash * DTYPE_BYTES
+    return total
+
+
+def ideal_peak_memory(graph: ComputationGraph, n_devices: int, n_layers: int = 1) -> float:
+    """Per-device peak memory with zero replication, scaled to the model."""
+    return global_footprint_bytes(graph) * n_layers / n_devices

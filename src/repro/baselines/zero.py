@@ -1,0 +1,107 @@
+"""ZeRO-style optimizer-state sharding (Rajbhandari et al., paper Sec. 8).
+
+ZeRO attacks the same replication problem as PrimePar's Feature 2, but by
+sharding optimizer states (stage 1), gradients (stage 2) and parameters
+(stage 3) across the data-parallel group — at the cost of reduce-scatter
+and all-gather collectives every iteration.  The paper positions PrimePar
+as complementary: the temporal primitive removes replication *within*
+model parallelism without those collectives.
+
+This module provides the memory and communication accounting needed to
+compare the approaches on the simulated fabric.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..cluster.collectives import COLLECTIVE_EFFICIENCY
+from ..cluster.topology import ClusterTopology
+from ..graph.graph import ComputationGraph
+from ..graph.tensors import DTYPE_BYTES
+
+
+class ZeroStage(enum.Enum):
+    """ZeRO sharding stages."""
+
+    NONE = 0
+    OPTIMIZER = 1        # shard optimizer states
+    GRADIENTS = 2        # + shard gradients
+    PARAMETERS = 3       # + shard parameters
+
+
+#: Bytes per parameter: fp16 weight, fp16 gradient, fp32 Adam m/v + master.
+WEIGHT_BYTES = DTYPE_BYTES
+GRADIENT_BYTES = DTYPE_BYTES
+OPTIMIZER_BYTES = 12.0
+
+
+@dataclass(frozen=True)
+class ZeroReport:
+    """Per-device memory and per-iteration collective cost of a stage."""
+
+    stage: ZeroStage
+    parameter_bytes: float
+    gradient_bytes: float
+    optimizer_bytes: float
+    collective_latency: float
+
+    @property
+    def state_bytes(self) -> float:
+        return self.parameter_bytes + self.gradient_bytes + self.optimizer_bytes
+
+
+def zero_report(
+    graph: ComputationGraph,
+    topology: ClusterTopology,
+    dp_degree: int,
+    stage: ZeroStage,
+    n_layers: int = 1,
+) -> ZeroReport:
+    """Memory and communication of ZeRO at ``stage`` over ``dp_degree`` replicas.
+
+    Model state is the graph's parameters replicated per data-parallel rank
+    (model-parallel sharding, if any, is assumed applied upstream).  Stage 1
+    shards optimizer states; stage 2 also gradients (reduce-scatter instead
+    of all-reduce — same traffic, half kept); stage 3 also parameters,
+    adding an all-gather per traversal.
+    """
+    params = graph.total_parameters() * n_layers
+    d = max(dp_degree, 1)
+    p_bytes = params * WEIGHT_BYTES
+    g_bytes = params * GRADIENT_BYTES
+    o_bytes = params * OPTIMIZER_BYTES
+    if stage.value >= ZeroStage.OPTIMIZER.value:
+        o_bytes /= d
+    if stage.value >= ZeroStage.GRADIENTS.value:
+        g_bytes /= d
+    if stage.value >= ZeroStage.PARAMETERS.value:
+        p_bytes /= d
+
+    # Gradient synchronisation: all-reduce (<= stage 1) or reduce-scatter
+    # (stage 2+) costs 2(d-1)/d resp. (d-1)/d of the volume; stage 3 adds a
+    # parameter all-gather of (d-1)/d per iteration (forward re-gather).
+    if d == 1:
+        collective = 0.0
+    else:
+        link = (
+            topology.inter_link
+            if topology.n_nodes > 1
+            else topology.intra_link
+        )
+        bandwidth = link.bandwidth * COLLECTIVE_EFFICIENCY
+        volume = params * GRADIENT_BYTES
+        if stage.value >= ZeroStage.GRADIENTS.value:
+            collective = (d - 1) / d * volume / bandwidth
+        else:
+            collective = 2 * (d - 1) / d * volume / bandwidth
+        if stage.value >= ZeroStage.PARAMETERS.value:
+            collective += (d - 1) / d * params * WEIGHT_BYTES / bandwidth
+    return ZeroReport(
+        stage=stage,
+        parameter_bytes=p_bytes,
+        gradient_bytes=g_bytes,
+        optimizer_bytes=o_bytes,
+        collective_latency=collective,
+    )

@@ -1,0 +1,205 @@
+"""Command-line interface: search, verify, compare and sweep.
+
+Installed as the ``primepar`` console script::
+
+    primepar search  --model opt-175b --devices 16 --batch 16
+    primepar verify  --spec N-P2x2 --bits 3
+    primepar compare --model bloom-176b --devices 16 --batch 16
+    primepar sweep3d --model llama2-70b --devices 32 --batch 32
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import (
+    FabricProfiler,
+    PartitionSpec,
+    Planner3D,
+    PrimeParOptimizer,
+    TrainingSimulator,
+    build_block_graph,
+    v100_cluster,
+    verify_spec,
+)
+from .baselines.alpa import alpa_optimizer
+from .baselines.megatron import best_megatron_plan
+from .graph.models import MODELS_BY_KEY
+from .reporting.tables import format_table
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model",
+        choices=sorted(MODELS_BY_KEY),
+        default="opt-175b",
+        help="benchmark model (default: opt-175b)",
+    )
+    parser.add_argument(
+        "--devices", type=int, default=16, help="cluster size (power of two)"
+    )
+    parser.add_argument(
+        "--batch", type=int, default=0, help="global batch (default: #devices)"
+    )
+    parser.add_argument(
+        "--alpha", type=float, default=2e-11,
+        help="Eq. 7 memory weight in s/byte (default 2e-11)",
+    )
+    parser.add_argument(
+        "--beam", type=int, default=0,
+        help="beam width for the search (0 = exact)",
+    )
+
+
+def _setting(args):
+    model = MODELS_BY_KEY[args.model]
+    batch = args.batch or max(8, min(args.devices, 32))
+    profiler = FabricProfiler(v100_cluster(args.devices))
+    graph = build_block_graph(model.block_shape(batch=batch))
+    return model, batch, profiler, graph
+
+
+def cmd_search(args) -> int:
+    model, batch, profiler, graph = _setting(args)
+    optimizer = PrimeParOptimizer(
+        profiler,
+        alpha=args.alpha,
+        include_temporal=not args.no_temporal,
+        beam=args.beam or None,
+    )
+    result = optimizer.optimize(graph, n_layers=model.n_layers)
+    print(f"search: {result.elapsed:.2f}s  layer cost {result.cost:.4f}")
+    rows = [[name, str(spec)] for name, spec in sorted(result.plan.items())]
+    print(format_table(["operator", "partition sequence P"], rows))
+    report = TrainingSimulator(profiler).run_model(
+        graph, result.plan, batch, model.n_layers
+    )
+    print(
+        f"\nsimulated: {report.throughput:.2f} samples/s, "
+        f"{report.peak_memory_bytes / 2**30:.2f} GiB/device"
+    )
+    return 0
+
+
+def cmd_verify(args) -> int:
+    spec = PartitionSpec.from_string(args.spec, args.bits)
+    report = verify_spec(spec, seed=args.seed)
+    print(f"spec: {report.spec} over {2 ** args.bits} devices")
+    print(f"all-reduce invocations: {report.allreduce_invocations}")
+    print(f"point-to-point messages: {report.p2p_messages}")
+    for name, err in report.max_errors.items():
+        print(f"  max |{name} - reference| = {err:.3e}")
+    print("PASSED" if report.passed else "FAILED")
+    return 0 if report.passed else 1
+
+
+def cmd_compare(args) -> int:
+    model, batch, profiler, graph = _setting(args)
+    simulator = TrainingSimulator(profiler)
+    beam = args.beam or None
+    megatron = best_megatron_plan(simulator, graph, batch, model.n_layers)
+    alpa = alpa_optimizer(profiler, beam=beam).optimize(graph)
+    alpa_report = simulator.run_model(graph, alpa.plan, batch, model.n_layers)
+    primepar = PrimeParOptimizer(
+        profiler, alpha=args.alpha, beam=beam
+    ).optimize(graph)
+    pp_report = simulator.run_model(
+        graph, primepar.plan, batch, model.n_layers
+    )
+    rows = []
+    for label, report in (
+        (f"megatron (d={megatron.dp_degree})", megatron.report),
+        ("alpa", alpa_report),
+        ("primepar", pp_report),
+    ):
+        rows.append(
+            [
+                label,
+                f"{report.throughput:.2f}",
+                f"{report.throughput / megatron.report.throughput:.3f}",
+                f"{report.peak_memory_bytes / 2**30:.2f}",
+                f"{report.collective_latency * 1e3:.0f}",
+            ]
+        )
+    print(
+        format_table(
+            ["system", "samples/s", "vs megatron", "GiB/dev", "collective ms"],
+            rows,
+            title=f"{model.name} on {args.devices} simulated V100s, batch {batch}",
+        )
+    )
+    return 0
+
+
+def cmd_sweep3d(args) -> int:
+    model = MODELS_BY_KEY[args.model]
+    batch = args.batch or args.devices
+    planner = Planner3D(
+        model,
+        n_devices=args.devices,
+        global_batch=batch,
+        microbatch=args.microbatch,
+        alpha=args.alpha,
+    )
+    megatron = {str(r.config): r for r in planner.sweep("megatron")}
+    primepar = {str(r.config): r for r in planner.sweep("primepar")}
+    rows = [
+        [
+            config,
+            f"{megatron[config].throughput:.2f}",
+            f"{primepar[config].throughput:.2f}",
+            f"{primepar[config].throughput / megatron[config].throughput:.2f}x",
+        ]
+        for config in megatron
+    ]
+    print(
+        format_table(
+            ["(p,d,m)", "megatron", "primepar", "speedup"],
+            rows,
+            title=f"{model.name}: 3D parallelism on {args.devices} devices",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="primepar",
+        description="PrimePar reproduction: spatial-temporal tensor partitioning",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    search = sub.add_parser("search", help="search a partition strategy")
+    _add_common(search)
+    search.add_argument(
+        "--no-temporal", action="store_true",
+        help="restrict to the conventional space (Alpa baseline)",
+    )
+    search.set_defaults(func=cmd_search)
+
+    verify = sub.add_parser("verify", help="verify a spec numerically")
+    verify.add_argument("--spec", required=True, help='e.g. "N-P2x2"')
+    verify.add_argument("--bits", type=int, required=True)
+    verify.add_argument("--seed", type=int, default=0)
+    verify.set_defaults(func=cmd_verify)
+
+    compare = sub.add_parser("compare", help="compare against the baselines")
+    _add_common(compare)
+    compare.set_defaults(func=cmd_compare)
+
+    sweep = sub.add_parser("sweep3d", help="3D parallelism sweep (Fig. 10)")
+    _add_common(sweep)
+    sweep.add_argument("--microbatch", type=int, default=4)
+    sweep.set_defaults(func=cmd_sweep3d)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - direct invocation
+    sys.exit(main())

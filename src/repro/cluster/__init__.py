@@ -1,0 +1,1 @@
+"""Simulated cluster fabric: topology, collectives, profiled latency models."""

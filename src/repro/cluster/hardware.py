@@ -1,0 +1,70 @@
+"""Device hardware specifications for the simulated cluster.
+
+The paper evaluates on NVIDIA V100-SXM2 32 GB GPUs.  We model a device by
+its sustained compute throughput, memory bandwidth and memory capacity; the
+compute-latency model (paper Sec. 4.1) is a linear function of floating point
+operations and memory traffic with coefficients derived from these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one accelerator device.
+
+    Attributes:
+        name: Human-readable device name.
+        peak_flops: Sustained dense-matmul throughput in FLOP/s (fp16 with
+            fp32 accumulate, the paper's training regime).
+        memory_bandwidth: HBM bandwidth in bytes/s.
+        memory_capacity: Device memory in bytes.
+        kernel_launch_overhead: Fixed per-kernel latency in seconds.
+        matmul_efficiency: Fraction of ``peak_flops`` achieved by large
+            matmuls (tensor cores rarely exceed ~70% sustained).
+        pointwise_efficiency: Fraction of ``memory_bandwidth`` achieved by
+            bandwidth-bound elementwise kernels.
+    """
+
+    name: str
+    peak_flops: float
+    memory_bandwidth: float
+    memory_capacity: float
+    kernel_launch_overhead: float = 5e-6
+    matmul_efficiency: float = 0.62
+    pointwise_efficiency: float = 0.78
+
+    @property
+    def effective_matmul_flops(self) -> float:
+        return self.peak_flops * self.matmul_efficiency
+
+    @property
+    def effective_bandwidth(self) -> float:
+        return self.memory_bandwidth * self.pointwise_efficiency
+
+
+#: NVIDIA V100-SXM2 32 GB — the paper's evaluation device.
+V100_SXM2_32GB = DeviceSpec(
+    name="V100-SXM2-32GB",
+    peak_flops=112e12,  # fp16 tensor core peak
+    memory_bandwidth=900e9,
+    memory_capacity=32 * (1 << 30),
+)
+
+#: NVIDIA A100-SXM4 80 GB — used by topology ablations.
+A100_SXM4_80GB = DeviceSpec(
+    name="A100-SXM4-80GB",
+    peak_flops=312e12,
+    memory_bandwidth=2039e9,
+    memory_capacity=80 * (1 << 30),
+)
+
+#: A TPU-v4-like device for the torus-topology discussion (paper Sec. 7).
+TPU_V4_LIKE = DeviceSpec(
+    name="TPUv4-like",
+    peak_flops=275e12,
+    memory_bandwidth=1200e9,
+    memory_capacity=32 * (1 << 30),
+)

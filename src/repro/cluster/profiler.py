@@ -1,0 +1,159 @@
+"""Profiling and linear-regression latency models (paper Sec. 4.1).
+
+The paper obtains its cost-model coefficients by profiling real-system
+latencies at several tensor sizes and fitting linear functions.  Lacking the
+physical cluster, we profile the *simulated* fabric: the analytic collective
+models of :mod:`repro.cluster.collectives` stand in for measurements (with
+optional multiplicative noise emulating measurement jitter), and the same
+least-squares fit produces the coefficients the cost model consumes.
+
+This keeps the methodology — profile, regress, predict — intact, and makes
+the cost model independent of the collective implementation details.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+from .collectives import (
+    Transfer,
+    concurrent_step_time,
+    pattern_allreduce_time,
+)
+from .groups import GroupingPattern, grouping_pattern
+from .topology import ClusterTopology
+
+#: Default payload sizes (bytes) swept during profiling.
+DEFAULT_PROFILE_SIZES: Tuple[float, ...] = (
+    1 << 16, 1 << 18, 1 << 20, 1 << 22, 1 << 24, 1 << 26,
+)
+
+
+@dataclass(frozen=True)
+class LinearLatencyModel:
+    """``latency = base + bytes * per_byte`` fitted by least squares."""
+
+    base: float
+    per_byte: float
+
+    def predict(self, n_bytes: float) -> float:
+        if n_bytes <= 0:
+            return 0.0
+        return max(self.base + n_bytes * self.per_byte, 0.0)
+
+
+def fit_linear(sizes: Sequence[float], latencies: Sequence[float]) -> LinearLatencyModel:
+    """Least-squares fit of ``latency = a + b * size``."""
+    x = np.asarray(sizes, dtype=float)
+    y = np.asarray(latencies, dtype=float)
+    design = np.stack([np.ones_like(x), x], axis=1)
+    coeffs, *_ = np.linalg.lstsq(design, y, rcond=None)
+    return LinearLatencyModel(base=float(coeffs[0]), per_byte=float(coeffs[1]))
+
+
+class FabricProfiler:
+    """Profiles a simulated cluster fabric and caches fitted latency models.
+
+    The paper notes the profiling is scalable because the number of group
+    indicators is small (a sub-sequence of the device id); we cache one
+    fitted model per indicator, exactly mirroring that observation.
+
+    Args:
+        topology: The fabric under test.
+        noise: Relative std-dev of multiplicative measurement noise.
+        seed: RNG seed for reproducible "measurements".
+        sizes: Payload sizes swept per fit.
+    """
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        noise: float = 0.0,
+        seed: int = 0,
+        sizes: Sequence[float] = DEFAULT_PROFILE_SIZES,
+    ) -> None:
+        self.topology = topology
+        self.noise = noise
+        self.sizes = tuple(sizes)
+        self._rng = np.random.default_rng(seed)
+        self._allreduce_models: Dict[Tuple[int, ...], LinearLatencyModel] = {}
+        self._ring_models: Dict[Tuple[int, ...], LinearLatencyModel] = {}
+        self._redistribution_models: Dict[bool, LinearLatencyModel] = {}
+
+    def _measure(self, fn: Callable[[float], float]) -> LinearLatencyModel:
+        latencies = []
+        for size in self.sizes:
+            value = fn(float(size))
+            if self.noise:
+                value *= float(self._rng.normal(1.0, self.noise))
+            latencies.append(max(value, 0.0))
+        return fit_linear(self.sizes, latencies)
+
+    # ------------------------------------------------------------------
+    # collective patterns
+    # ------------------------------------------------------------------
+
+    def allreduce_model(self, indicator: Sequence[int]) -> LinearLatencyModel:
+        """Fitted all-reduce model for a group-indicator pattern."""
+        key = tuple(sorted(indicator))
+        if key not in self._allreduce_models:
+            pattern = grouping_pattern(self.topology.n_bits, key)
+            self._allreduce_models[key] = self._measure(
+                lambda size: pattern_allreduce_time(self.topology, pattern, size)
+            )
+        return self._allreduce_models[key]
+
+    def ring_step_model(self, indicator: Sequence[int]) -> LinearLatencyModel:
+        """Fitted model for one temporal ring step within each group.
+
+        Every device sends one block to its ring successor within its group,
+        all groups concurrently — the traffic shape of ``P_{2^k x 2^k}``.
+        """
+        key = tuple(sorted(indicator))
+        if key not in self._ring_models:
+            pattern = grouping_pattern(self.topology.n_bits, key)
+
+            def measure(size: float) -> float:
+                transfers = []
+                for group in pattern.groups:
+                    members = sorted(group)
+                    for i, src in enumerate(members):
+                        dst = members[(i + 1) % len(members)]
+                        if dst != src:
+                            transfers.append(Transfer(src=src, dst=dst, n_bytes=size))
+                return concurrent_step_time(self.topology, transfers)
+
+            self._ring_models[key] = self._measure(measure)
+        return self._ring_models[key]
+
+    def redistribution_model(self, intra_node: bool = False) -> LinearLatencyModel:
+        """Fitted redistribution model per traffic class (Eq. 9 latency).
+
+        Profiles an all-devices permutation: each device exchanges its
+        payload with a same-node neighbour (``intra_node=True``) or with its
+        counterpart in the next node (``intra_node=False``), the two traffic
+        shapes inter-operator redistribution decomposes into.
+        """
+        key = bool(intra_node)
+        if key not in self._redistribution_models:
+            topo = self.topology
+            n_dev = topo.n_devices
+            gpn = min(topo.gpus_per_node, n_dev)
+            if intra_node or topo.n_nodes <= 1:
+                pairs = [(r, r ^ 1) for r in range(n_dev)] if n_dev > 1 else []
+            else:
+                pairs = [(r, (r + gpn) % n_dev) for r in range(n_dev)]
+
+            def measure(size: float) -> float:
+                transfers = [
+                    Transfer(src=a, dst=b, n_bytes=size)
+                    for a, b in pairs
+                    if a != b
+                ]
+                return concurrent_step_time(self.topology, transfers)
+
+            self._redistribution_models[key] = self._measure(measure)
+        return self._redistribution_models[key]

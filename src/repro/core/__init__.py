@@ -1,0 +1,1 @@
+"""The paper's contribution: DSI formalism, primitive, cost model, optimizer."""

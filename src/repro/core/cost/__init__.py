@@ -1,0 +1,1 @@
+"""Cost model: Eq. 7 intra-operator, Eq. 8-9 inter-operator, Eq. 10 overall."""

@@ -1,0 +1,153 @@
+"""Intra-operator communication latency (paper Sec. 4.1).
+
+Two traffic classes exist:
+
+* **all-reduce** caused by spatially partitioning a summed-over dimension —
+  costed through profiled-and-regressed grouping-pattern models
+  (:class:`~repro.cluster.profiler.FabricProfiler`), as in the paper;
+* **ring point-to-point** between temporal steps of ``P_{2^k x 2^k}`` —
+  costed by placing the exact transfers derived from the DSI schedules onto
+  the simulated fabric, concurrently per step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from ...cluster.collectives import Transfer, concurrent_step_time
+from ...cluster.profiler import FabricProfiler
+from ...graph.operators import OpKind, OperatorSpec
+from ...graph.tensors import DTYPE_BYTES
+from .. import analysis
+from ..dims import Dim, Phase, PhaseSignature
+from ..spec import PartitionSpec
+from .compute import block_bytes
+
+#: Structural ring-schedule cache: (steps, n_bits, phase, batched) ->
+#: step -> list of (tensor name, src rank, dst rank).
+_RING_CACHE: Dict[Tuple, Mapping[int, List[Tuple[str, int, int]]]] = {}
+
+
+class CommunicationCostModel:
+    """All-reduce and ring latencies of a partitioned operator."""
+
+    def __init__(self, profiler: FabricProfiler) -> None:
+        self.profiler = profiler
+        self.topology = profiler.topology
+
+    # ------------------------------------------------------------------
+    # all-reduce (partition-by-dimension of summed-over dims)
+    # ------------------------------------------------------------------
+
+    def allreduce_indicator(
+        self, op: OperatorSpec, spec: PartitionSpec, phase: Phase
+    ) -> Tuple[int, ...]:
+        """Group-indicator bits of ``phase``'s output all-reduce.
+
+        Devices differing only in bits that do not influence the output
+        tensor's DSIs compute partial sums of the same output block and
+        form one all-reduce group (paper Sec. 4.1).
+        """
+        signature = op.signatures()[phase]
+        output_bits = set(
+            spec.evaluator.group_indicator(phase, signature.output.dims)
+        )
+        reduce_bits = set(
+            spec.evaluator.group_indicator(phase, tuple(signature.reduce_dims))
+        )
+        return tuple(sorted(reduce_bits - output_bits))
+
+    def allreduce_latency(
+        self, op: OperatorSpec, spec: PartitionSpec, phase: Phase
+    ) -> float:
+        """``allreduce(n, P)`` for one phase."""
+        signature = op.signatures()[phase]
+        if not signature.reduce_dims:
+            return 0.0
+        indicator = self.allreduce_indicator(op, spec, phase)
+        if not indicator:
+            return 0.0
+        payload = block_bytes(op, spec, signature.output.dims)
+        return self.profiler.allreduce_model(indicator).predict(payload)
+
+    def layernorm_extras(self, op: OperatorSpec, spec: PartitionSpec) -> float:
+        """Normalisation's expectation and gamma/beta-gradient all-reduces.
+
+        Partitioning the normalised dim (``K``) requires summing per-row
+        statistics across its slices; partitioning ``B``/``M`` requires
+        all-reducing the (tiny) parameter gradients (paper Sec. 3.2).
+        """
+        if op.kind is not OpKind.LAYERNORM:
+            return 0.0
+        total = 0.0
+        if spec.slice_counts[Dim.K] > 1:
+            indicator = spec.evaluator.group_indicator(Phase.FORWARD, (Dim.K,))
+            stats_bytes = 2 * 4 * block_bytes(op, spec, (Dim.B, Dim.M)) / DTYPE_BYTES
+            total += self.profiler.allreduce_model(indicator).predict(stats_bytes)
+        row_bits = spec.evaluator.group_indicator(Phase.GRADIENT, (Dim.B, Dim.M))
+        if row_bits:
+            grad_bytes = 2 * block_bytes(op, spec, (Dim.K,))
+            total += self.profiler.allreduce_model(row_bits).predict(grad_bytes)
+        return total
+
+    # ------------------------------------------------------------------
+    # ring point-to-point (temporal primitive)
+    # ------------------------------------------------------------------
+
+    def _ring_schedule(
+        self, op: OperatorSpec, spec: PartitionSpec, phase: Phase
+    ) -> Mapping[int, List[Tuple[str, int, int]]]:
+        """Structural ring schedule: step -> (tensor, src rank, dst rank).
+
+        Input-tensor transfers overlap the step *before* their use; the
+        accumulated-output redistribution (``dW``) and the end-of-phase
+        weight realignment overlap the final step (paper Table 1).
+        """
+        key = (spec.steps, spec.n_bits, phase, op.kind is OpKind.MATMUL)
+        if key in _RING_CACHE:
+            return _RING_CACHE[key]
+        signature = op.signatures()[phase]
+        schedule: Dict[int, List[Tuple[str, int, int]]] = {
+            t: [] for t in range(spec.total_steps)
+        }
+        output_name = signature.output.name
+        for tr in analysis.ring_transfers(spec, signature):
+            overlap = tr.step + 1 if tr.tensor == output_name else tr.step
+            schedule[overlap].append((tr.tensor, tr.src.rank, tr.dst.rank))
+        if phase is Phase.BACKWARD and op.is_matmul_like:
+            w_tensor = signature.inputs[1]
+            for tr in analysis.epilogue_transfers(
+                spec, w_tensor, Phase.BACKWARD, Phase.FORWARD
+            ):
+                schedule[spec.total_steps - 1].append(
+                    (tr.tensor, tr.src.rank, tr.dst.rank)
+                )
+        _RING_CACHE[key] = schedule
+        return schedule
+
+    def ring_step_latency(
+        self, op: OperatorSpec, spec: PartitionSpec, phase: Phase, step: int
+    ) -> float:
+        """``ring(n, P, t)``: point-to-point traffic overlapping step ``t``."""
+        if not spec.has_temporal:
+            return 0.0
+        signature = op.signatures()[phase]
+        sizes = {
+            tensor.name: block_bytes(op, spec, tensor.dims)
+            for tensor in signature.tensors
+        }
+        schedule = self._ring_schedule(op, spec, phase)
+        transfers = [
+            Transfer(src=src, dst=dst, n_bytes=sizes[tensor])
+            for tensor, src, dst in schedule.get(step, [])
+        ]
+        return concurrent_step_time(self.topology, transfers)
+
+    def ring_phase_latencies(
+        self, op: OperatorSpec, spec: PartitionSpec, phase: Phase
+    ) -> List[float]:
+        """Ring latency per temporal step of one phase."""
+        return [
+            self.ring_step_latency(op, spec, phase, t)
+            for t in range(spec.total_steps)
+        ]

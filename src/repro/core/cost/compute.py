@@ -1,0 +1,70 @@
+"""Computation latency model (paper Sec. 4.1, "Computation").
+
+Latency of a partitioned sub-operator is a linear function of its floating
+point operations and memory traffic.  The paper fits the coefficients per
+operator type by profiling; here the coefficients derive from the simulated
+device's roofline (sustained matmul throughput, effective bandwidth, launch
+overhead) — the same linear form, sourced from the simulated hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ...cluster.hardware import DeviceSpec
+from ...graph.operators import OperatorSpec
+from ...graph.tensors import DTYPE_BYTES
+from ..dims import ALL_DIMS, Dim, Phase
+from ..spec import PartitionSpec
+
+
+def block_elements(op: OperatorSpec, spec: PartitionSpec, dims) -> float:
+    """Per-device per-step element count of a tensor spanning ``dims``."""
+    counts: Mapping[Dim, int] = spec.slice_counts
+    elements = 1.0
+    for dim in dims:
+        elements *= op.dim_size(dim) / counts[dim]
+    return elements
+
+
+def block_bytes(op: OperatorSpec, spec: PartitionSpec, dims) -> float:
+    return block_elements(op, spec, dims) * DTYPE_BYTES
+
+
+class ComputeCostModel:
+    """Per-step and per-phase compute latency of partitioned operators."""
+
+    def __init__(self, device: DeviceSpec) -> None:
+        self.device = device
+
+    def step_latency(self, op: OperatorSpec, spec: PartitionSpec, phase: Phase) -> float:
+        """Latency of one temporal step of ``phase`` — ``compute(n, P, t)``.
+
+        Sub-operator block sizes are identical across temporal steps (the
+        primitive rotates slice indices, not sizes), so the latency does not
+        depend on ``t``.
+        """
+        total_flops = op.flops(phase)
+        if total_flops <= 0:
+            return 0.0
+        if op.is_matmul_like:
+            flops = 2.0
+            for dim in ALL_DIMS:
+                flops *= op.dim_size(dim) / spec.slice_counts[dim]
+            bytes_moved = sum(
+                block_bytes(op, spec, tensor.dims)
+                for tensor in op.signatures()[phase].tensors
+            )
+            compute_time = flops / self.device.effective_matmul_flops
+        else:
+            out_elements = block_elements(op, spec, op.output_dims)
+            scale = out_elements / max(op.output_elements(), 1)
+            flops = total_flops * scale
+            bytes_moved = op.io_bytes(phase) * scale
+            compute_time = flops / self.device.peak_flops
+        memory_time = bytes_moved / self.device.effective_bandwidth
+        return self.device.kernel_launch_overhead + max(compute_time, memory_time)
+
+    def phase_latency(self, op: OperatorSpec, spec: PartitionSpec, phase: Phase) -> float:
+        """Total compute latency of a phase: ``sum_t compute(n, P, t)``."""
+        return spec.total_steps * self.step_latency(op, spec, phase)

@@ -1,0 +1,94 @@
+"""Intra-operator cost — paper Eq. 7.
+
+``intraC(n, P) = sum_t max(compute(n,P,t), ring(n,P,t)) + allreduce(n,P)
++ alpha * memory(n,P)``: ring communication overlaps with the computation
+step it accompanies (double buffering), all-reduce is data-dependent and
+serialises, and memory joins the objective through the adjustment
+coefficient ``alpha``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ...cluster.profiler import FabricProfiler
+from ...graph.operators import OperatorSpec
+from ..dims import ALL_PHASES, Phase
+from ..spec import PartitionSpec
+from .communication import CommunicationCostModel
+from .compute import ComputeCostModel
+from .memory import MemoryCostModel
+
+
+@dataclass(frozen=True)
+class IntraCost:
+    """Decomposed intra-operator cost of one (operator, spec) pair.
+
+    All latencies are seconds per training iteration; memory is bytes.
+    """
+
+    compute_latency: float
+    ring_latency: float
+    ring_exposed: float
+    allreduce_latency: float
+    memory_bytes: float
+    alpha: float
+
+    @property
+    def latency(self) -> float:
+        """Critical-path latency: overlapped compute/ring + all-reduce."""
+        return (
+            self.compute_latency + self.ring_exposed + self.allreduce_latency
+        )
+
+    @property
+    def total(self) -> float:
+        """The Eq. 7 scalar objective."""
+        return self.latency + self.alpha * self.memory_bytes
+
+
+class IntraOperatorCostModel:
+    """Evaluates Eq. 7 for (operator, spec) pairs, with caching."""
+
+    def __init__(
+        self,
+        profiler: FabricProfiler,
+        alpha: float = 0.0,
+        memory_model: MemoryCostModel = None,
+    ) -> None:
+        self.compute = ComputeCostModel(profiler.topology.device)
+        self.communication = CommunicationCostModel(profiler)
+        self.memory = memory_model or MemoryCostModel()
+        self.alpha = alpha
+        self._cache: Dict[Tuple[str, Tuple, int], IntraCost] = {}
+
+    def cost(self, op: OperatorSpec, spec: PartitionSpec) -> IntraCost:
+        """``intraC(n, P)`` with its full breakdown."""
+        key = (op.name, spec.steps, spec.n_bits)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        compute_total = 0.0
+        ring_total = 0.0
+        exposed_total = 0.0
+        allreduce_total = 0.0
+        for phase in ALL_PHASES:
+            step_compute = self.compute.step_latency(op, spec, phase)
+            rings = self.communication.ring_phase_latencies(op, spec, phase)
+            for ring in rings:
+                compute_total += step_compute
+                ring_total += ring
+                exposed_total += max(ring - step_compute, 0.0)
+            allreduce_total += self.communication.allreduce_latency(op, spec, phase)
+        allreduce_total += self.communication.layernorm_extras(op, spec)
+        result = IntraCost(
+            compute_latency=compute_total,
+            ring_latency=ring_total,
+            ring_exposed=exposed_total,
+            allreduce_latency=allreduce_total,
+            memory_bytes=self.memory.operator_memory(op, spec),
+            alpha=self.alpha,
+        )
+        self._cache[key] = result
+        return result

@@ -1,0 +1,86 @@
+"""Overall plan cost — paper Eq. 10.
+
+``C = sum_i intraC(n_i, P_i) + sum_(i,j) interC(n_i, n_j, P_i, P_j)`` over
+a computation graph with one partition spec per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ...cluster.profiler import FabricProfiler
+from ...graph.graph import ComputationGraph
+from ..spec import PartitionSpec
+from .inter import InterOperatorCostModel
+from .intra import IntraOperatorCostModel
+from .memory import MemoryCostModel
+
+
+@dataclass(frozen=True)
+class PlanCost:
+    """Decomposed cost of a full plan, per training iteration."""
+
+    compute_latency: float
+    ring_exposed: float
+    allreduce_latency: float
+    inter_latency: float
+    memory_bytes: float
+
+    @property
+    def latency(self) -> float:
+        return (
+            self.compute_latency
+            + self.ring_exposed
+            + self.allreduce_latency
+            + self.inter_latency
+        )
+
+    def objective(self, alpha: float) -> float:
+        """Eq. 10 scalar under memory weight ``alpha``."""
+        return self.latency + alpha * self.memory_bytes
+
+
+class OverallCostModel:
+    """Evaluates Eq. 10 for explicit plans."""
+
+    def __init__(
+        self,
+        profiler: FabricProfiler,
+        alpha: float = 0.0,
+        memory_model: MemoryCostModel = None,
+    ) -> None:
+        self.profiler = profiler
+        self.alpha = alpha
+        self.intra = IntraOperatorCostModel(
+            profiler, alpha=alpha, memory_model=memory_model
+        )
+        self.inter = InterOperatorCostModel(profiler)
+
+    def plan_cost(
+        self, graph: ComputationGraph, plan: Mapping[str, PartitionSpec]
+    ) -> PlanCost:
+        """Cost of ``plan`` (node name -> spec) over ``graph``."""
+        compute = ring = allreduce = memory = 0.0
+        for node in graph.nodes:
+            cost = self.intra.cost(node, plan[node.name])
+            compute += cost.compute_latency
+            ring += cost.ring_exposed
+            allreduce += cost.allreduce_latency
+            memory += cost.memory_bytes
+        inter_total = 0.0
+        for edge in graph.edges:
+            inter_total += self.inter.cost(
+                edge,
+                graph.node(edge.src),
+                plan[edge.src],
+                graph.node(edge.dst),
+                plan[edge.dst],
+            )
+        return PlanCost(
+            compute_latency=compute,
+            ring_exposed=ring,
+            allreduce_latency=allreduce,
+            inter_latency=inter_total,
+            memory_bytes=memory,
+        )

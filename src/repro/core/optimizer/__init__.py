@@ -1,0 +1,1 @@
+"""Segmented dynamic programming (paper Sec. 5) and reference solvers."""

@@ -1,0 +1,113 @@
+"""Canonical partition sequences injected into every candidate set.
+
+Beam-limited searches keep only the cheapest intra-cost classes, which can
+prune members of globally-aligned plans (their value shows only through
+edge costs).  Injecting the canonical Megatron-style sequences for every
+data-parallel degree guarantees the searched space always contains the
+baselines' plans — a beam search can then never return a plan worse than
+the best Megatron configuration.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...graph.operators import OperatorSpec
+from ..dims import Dim
+from ..partitions import DimPartition, PartitionStep, Replicate, TemporalPartition
+from ..spec import PartitionSpec
+
+
+def megatron_steps(
+    node: OperatorSpec, dp_bits: int, mp_bits: int
+) -> List[PartitionStep]:
+    """Megatron-LM's sequence for one block operator (see baselines doc)."""
+    data: List[PartitionStep] = [DimPartition(Dim.B) for _ in range(dp_bits)]
+    suffix = node.name.rsplit(".", 1)[-1]
+    if suffix == "qkv":
+        model: List[PartitionStep] = [
+            DimPartition(Dim.K, axis="heads") for _ in range(mp_bits)
+        ]
+    elif suffix == "out_proj":
+        model = [DimPartition(Dim.N, axis="heads") for _ in range(mp_bits)]
+    elif suffix in ("scores", "softmax", "context"):
+        model = [DimPartition(Dim.B, axis="heads") for _ in range(mp_bits)]
+    elif suffix == "fc1":
+        model = [DimPartition(Dim.K) for _ in range(mp_bits)]
+    elif suffix == "fc2":
+        model = [DimPartition(Dim.N) for _ in range(mp_bits)]
+    elif suffix == "act":
+        model = [DimPartition(Dim.K) for _ in range(mp_bits)]
+    else:
+        model = [Replicate() for _ in range(mp_bits)]
+    return data + model
+
+
+def canonical_specs(
+    node: OperatorSpec,
+    n_bits: int,
+    include_temporal: bool = True,
+    partition_batch: bool = True,
+) -> List[PartitionSpec]:
+    """Baseline-shaped specs guaranteed to be legal for ``node``.
+
+    Includes every Megatron (d, m) configuration feasible for the node, and
+    — for temporal-capable operators — the paper's signature sequences that
+    append a ``P_{2^k x 2^k}`` after spatial row/column partitions.
+    """
+    specs: List[PartitionSpec] = []
+
+    def try_add(steps: List[PartitionStep]) -> None:
+        try:
+            spec = PartitionSpec(
+                steps,
+                n_bits,
+                legal_dims=node.legal_dims,
+                allow_temporal=node.allow_temporal,
+            )
+        except ValueError:
+            return
+        if spec not in specs:
+            specs.append(spec)
+
+    batch = node.axis_sizes.get("batch", 1)
+    max_dp_bits = n_bits if partition_batch else 0
+    for dp_bits in range(0, max_dp_bits + 1):
+        if (1 << dp_bits) > batch:
+            break
+        try_add(megatron_steps(node, dp_bits, n_bits - dp_bits))
+    if include_temporal and node.allow_temporal:
+        for dp_bits in range(0, max_dp_bits + 1):
+            if (1 << dp_bits) > batch:
+                break
+            data: List[PartitionStep] = [
+                DimPartition(Dim.B) for _ in range(dp_bits)
+            ]
+            spare = n_bits - dp_bits
+            for k in range(1, spare // 2 + 1):
+                rest = spare - 2 * k
+                for dim in (Dim.N, Dim.K):
+                    try_add(
+                        data
+                        + [DimPartition(dim) for _ in range(rest)]
+                        + [TemporalPartition(k)]
+                    )
+    if include_temporal and not node.is_matmul_like:
+        # Temporal *partners*: the primitive's output layout splits M over
+        # its row bits and K over its column bits (interleaved).  Pointwise
+        # neighbours matching that layout keep the edges free; protect them
+        # from beam pruning alongside the baselines.
+        for dp_bits in range(0, max_dp_bits + 1):
+            if (1 << dp_bits) > batch:
+                break
+            data = [DimPartition(Dim.B) for _ in range(dp_bits)]
+            spare = n_bits - dp_bits
+            for k in range(1, spare // 2 + 1):
+                rest = spare - 2 * k
+                interleaved: List[PartitionStep] = []
+                for _ in range(k):
+                    interleaved.append(DimPartition(Dim.M))
+                    interleaved.append(DimPartition(Dim.K))
+                for filler in (DimPartition(Dim.K), Replicate()):
+                    try_add(data + [filler] * rest + interleaved)
+    return specs

@@ -1,0 +1,108 @@
+"""Merging optimal sub-structures (paper Eq. 13-14).
+
+Two tables sharing a boundary node merge by a min-plus product over the
+boundary's candidate classes, subtracting the boundary node's intra cost
+(counted by both tables) and adding any cross-edge costs that neither table
+contains (Eq. 13's ``e_{0,7}``).  Stacked identical transformer layers merge
+by recursive doubling — ``log2(#layers)`` merges (paper Sec. 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from .dp import SegmentTable, min_plus
+
+
+@dataclass
+class MergeTable:
+    """A merged optimal sub-structure with a boundary backpointer.
+
+    ``cost[a, c]`` spans from ``left.start`` to ``right.end``; ``boundary``
+    names the shared node and ``arg[a, c]`` its optimal class.
+    """
+
+    left: Union[SegmentTable, "MergeTable"]
+    right: Union[SegmentTable, "MergeTable"]
+    boundary: str
+    cost: np.ndarray
+    arg: np.ndarray
+
+    @property
+    def start(self) -> str:
+        return self.left.start
+
+    @property
+    def end(self) -> str:
+        return self.right.end
+
+    def extract(self, a: int, c: int, out: Dict[str, int]) -> None:
+        """Recursively fill the optimal class assignment given endpoints."""
+        b = int(self.arg[a, c])
+        self.left.extract(a, b, out)
+        self.right.extract(b, c, out)
+
+
+def merge_tables(
+    left: Union[SegmentTable, MergeTable],
+    right: Union[SegmentTable, MergeTable],
+    boundary_intra: np.ndarray,
+    cross_edge_cost: Optional[np.ndarray] = None,
+    check_names: bool = True,
+) -> MergeTable:
+    """Eq. 13/14: merge two tables sharing a boundary node.
+
+    Args:
+        left: Table ending at the boundary node.
+        right: Table starting at the boundary node.
+        boundary_intra: Intra costs of the boundary node's classes — counted
+            in both tables, subtracted once.
+        cross_edge_cost: Matrix over (left.start, right.end) classes of
+            edges contained in neither table (Eq. 13's ``e_{0,7}``).
+        check_names: Require matching boundary node names.  Layer stacking
+            merges copies of the same table whose endpoint *types* match but
+            names differ; such tables are used for cost and timing only.
+    """
+    if check_names and left.end != right.start:
+        raise ValueError(
+            f"tables do not share a boundary: {left.end!r} vs {right.start!r}"
+        )
+    adjusted = right.cost - boundary_intra[:, None]
+    cost, arg = min_plus(left.cost, adjusted)
+    if cross_edge_cost is not None:
+        cost = cost + cross_edge_cost
+    return MergeTable(
+        left=left, right=right, boundary=left.end, cost=cost, arg=arg
+    )
+
+
+def stack_layers(
+    layer_table: Union[SegmentTable, MergeTable],
+    boundary_intra: np.ndarray,
+    n_layers: int,
+) -> Union[SegmentTable, MergeTable]:
+    """Recursive-doubling stack of identical layer tables (paper Sec. 5.1).
+
+    The boundary node (a layer's final residual add) is shared between
+    consecutive layers; ``log2``-many merges cover any layer count via the
+    binary decomposition of ``n_layers``.
+    """
+    if n_layers < 1:
+        raise ValueError("n_layers must be >= 1")
+    result = None
+    power = layer_table
+    remaining = n_layers
+    while remaining:
+        if remaining & 1:
+            result = (
+                power
+                if result is None
+                else merge_tables(result, power, boundary_intra, check_names=False)
+            )
+        remaining >>= 1
+        if remaining:
+            power = merge_tables(power, power, boundary_intra, check_names=False)
+    return result

@@ -1,0 +1,108 @@
+"""Graph segmentation for the segmented dynamic programming (paper Sec. 5.1).
+
+Dynamic programming along a topological chain requires Assumptions 1-2: when
+extending a sub-model by node ``n_{j+1}``, the only new edges may come from
+``n_j`` and the segment's start node ``n_i``.  Nodes with *extended edges*
+(destination beyond the next node) must therefore start their own segment;
+cross-segment edges are accounted for when segments merge (Eq. 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ...graph.graph import ComputationGraph, Edge
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A DP-safe contiguous span ``[start, end]`` of the topological order."""
+
+    start: int
+    end: int
+    node_names: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Segmentation:
+    """Segments plus the edges that cross between them."""
+
+    segments: Tuple[Segment, ...]
+    cross_edges: Tuple[Edge, ...]
+
+
+def segment_graph(graph: ComputationGraph) -> Segmentation:
+    """Split ``graph`` into DP-safe segments (paper Fig. 6).
+
+    Every source of an extended edge anchors a new segment; segments span
+    consecutive anchors so that within each one, every node's in-edges come
+    only from its predecessor or the segment start.
+
+    Raises:
+        ValueError: If some segment still violates the DP assumptions (the
+            graph is not of the supported shape).
+    """
+    n = len(graph.nodes)
+    anchors = {0, n - 1}
+    for edge in graph.extended_edges():
+        anchors.add(graph.index(edge.src))
+    ordered = sorted(anchors)
+    segments: List[Segment] = []
+    for a, b in zip(ordered, ordered[1:]):
+        names = tuple(node.name for node in graph.nodes[a : b + 1])
+        segments.append(Segment(start=a, end=b, node_names=names))
+    if not segments:  # single-node graph
+        segments.append(Segment(0, 0, (graph.nodes[0].name,)))
+    cross = []
+    for edge in graph.edges:
+        si = _segment_of(segments, graph.index(edge.src))
+        di = _segment_of(segments, graph.index(edge.dst))
+        if si != di and not _is_boundary_internal(segments, graph, edge):
+            cross.append(edge)
+    _validate(graph, segments, cross)
+    return Segmentation(segments=tuple(segments), cross_edges=tuple(cross))
+
+
+def _segment_of(segments: Sequence[Segment], index: int) -> int:
+    for i, seg in enumerate(segments):
+        if seg.start <= index <= seg.end:
+            return i
+    raise ValueError(f"index {index} outside all segments")
+
+
+def _is_boundary_internal(
+    segments: Sequence[Segment], graph: ComputationGraph, edge: Edge
+) -> bool:
+    """True if the edge lies within one segment counting shared anchors.
+
+    Segment boundaries overlap by one node (the anchor belongs to both); an
+    edge from an anchor into the following segment is internal to the later
+    segment.
+    """
+    src_idx = graph.index(edge.src)
+    dst_idx = graph.index(edge.dst)
+    for seg in segments:
+        if seg.start <= src_idx and dst_idx <= seg.end and src_idx < dst_idx:
+            return True
+    return False
+
+
+def _validate(
+    graph: ComputationGraph, segments: Sequence[Segment], cross: Sequence[Edge]
+) -> None:
+    """Check Assumptions 1-2 within each segment."""
+    for seg in segments:
+        start_name = graph.nodes[seg.start].name
+        for idx in range(seg.start + 1, seg.end + 1):
+            node = graph.nodes[idx]
+            previous = graph.nodes[idx - 1].name
+            for edge in graph.in_edges(node.name):
+                if edge in cross:
+                    continue
+                if edge.src not in (previous, start_name):
+                    raise ValueError(
+                        f"segment [{start_name}..] violates DP assumptions: "
+                        f"edge {edge.key()} enters {node.name} from "
+                        f"{edge.src}, not the predecessor or segment start"
+                    )

@@ -1,0 +1,205 @@
+"""End-to-end partition strategy search (paper Sec. 5).
+
+Pipeline: enumerate & collapse candidates per operator, solve each DP-safe
+segment (Eq. 11-12), merge segments adding cross-segment edge costs
+(Eq. 13-14), stack identical layers by recursive doubling, and extract the
+optimal per-operator partition specs via backpointers.
+
+The conventional-space search (``include_temporal=False``) doubles as the
+Alpa baseline: it finds the optimal plan within the spatial-only space.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from ...cluster.profiler import FabricProfiler
+from ...graph.graph import ComputationGraph
+from ..cost.inter import InterOperatorCostModel
+from ..cost.intra import IntraOperatorCostModel
+from ..cost.memory import MemoryCostModel
+from ..spec import PartitionSpec
+from .candidates import CandidateSet, build_candidates, type_key
+from .dp import SegmentTable, edge_cost_matrix, solve_segment
+from .merge import MergeTable, merge_tables, stack_layers
+from .segmenter import segment_graph
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one strategy search.
+
+    Attributes:
+        plan: Per-node optimal partition spec (one graph instance).
+        cost: The Eq. 10 optimum found.
+        elapsed: Wall-clock search time in seconds.
+        candidate_sizes: Per-node (raw space size, collapsed class count).
+        model_cost: Cost after layer stacking (when requested).
+    """
+
+    plan: Dict[str, PartitionSpec]
+    cost: float
+    elapsed: float
+    candidate_sizes: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    model_cost: Optional[float] = None
+
+
+class PrimeParOptimizer:
+    """Segmented-DP optimizer over the (spatial-temporal) partition space.
+
+    Args:
+        profiler: Fitted fabric models of the target cluster.
+        alpha: Eq. 7 memory weight (seconds per byte).
+        include_temporal: Search-space switch; ``False`` restricts to the
+            conventional space (the Alpa stand-in baseline).
+        partition_batch: ``False`` removes batch partitioning — used when
+            composing with externally-controlled data parallelism (Sec. 6.4).
+        memory_model: Custom memory model (e.g. with optimizer state).
+        beam: Optional per-node candidate cap (cheapest classes by intra
+            cost) bounding search time on large clusters; ``None`` searches
+            the full space.
+    """
+
+    def __init__(
+        self,
+        profiler: FabricProfiler,
+        alpha: float = 0.0,
+        include_temporal: bool = True,
+        partition_batch: bool = True,
+        memory_model: Optional[MemoryCostModel] = None,
+        beam: Optional[int] = None,
+    ) -> None:
+        self.profiler = profiler
+        self.include_temporal = include_temporal
+        self.partition_batch = partition_batch
+        #: Optional cap on candidate classes per node (approximate search).
+        self.beam = beam
+        self.intra_model = IntraOperatorCostModel(
+            profiler, alpha=alpha, memory_model=memory_model
+        )
+        self.inter_model = InterOperatorCostModel(profiler)
+        self._candidate_cache: Dict[Tuple, CandidateSet] = {}
+
+    # ------------------------------------------------------------------
+    # candidates
+    # ------------------------------------------------------------------
+
+    def candidates_for(self, graph: ComputationGraph) -> Dict[str, CandidateSet]:
+        """Candidate sets per node, shared across same-type nodes."""
+        n_bits = self.profiler.topology.n_bits
+        result: Dict[str, CandidateSet] = {}
+        for node in graph.nodes:
+            key = type_key(node) + (
+                n_bits, self.include_temporal, self.partition_batch, self.beam
+            )
+            cached = self._candidate_cache.get(key)
+            if cached is None:
+                cached = build_candidates(
+                    node,
+                    n_bits,
+                    self.intra_model,
+                    include_temporal=self.include_temporal,
+                    partition_batch=self.partition_batch,
+                    beam=self.beam,
+                )
+                self._candidate_cache[key] = cached
+            result[node.name] = cached
+        return result
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+
+    def optimize(
+        self, graph: ComputationGraph, n_layers: int = 1
+    ) -> SearchResult:
+        """Find the optimal plan for ``graph`` (one layer stack instance).
+
+        ``n_layers > 1`` additionally stacks the (single-layer) table by
+        recursive doubling to produce the whole-model optimum cost.  The
+        extracted plan is the steady-state layer plan.
+        """
+        started = time.perf_counter()
+        candidates = self.candidates_for(graph)
+        segmentation = segment_graph(graph)
+        tables: List[Union[SegmentTable, MergeTable]] = [
+            solve_segment(graph, seg, candidates, self.inter_model)
+            for seg in segmentation.segments
+        ]
+        # Cross-segment edges span exactly two adjacent segments (their
+        # source anchors the earlier one, paper Fig. 6's e_{0,7}); merge
+        # those pairs first so both endpoints are still table endpoints
+        # when the edge cost is added (Eq. 13), then chain-merge (Eq. 14).
+        paired: List[Union[SegmentTable, MergeTable]] = []
+        consumed = set()
+        i = 0
+        while i < len(tables):
+            pair_edges = []
+            if i + 1 < len(tables):
+                pair_edges = [
+                    e
+                    for e in segmentation.cross_edges
+                    if e.src == tables[i].start and e.dst == tables[i + 1].end
+                ]
+            if pair_edges:
+                cross_cost = sum(
+                    edge_cost_matrix(
+                        graph, self.inter_model, candidates, e.src, e.dst
+                    )
+                    for e in pair_edges
+                )
+                consumed.update(e.key() for e in pair_edges)
+                paired.append(
+                    merge_tables(
+                        tables[i],
+                        tables[i + 1],
+                        candidates[tables[i + 1].start].intra,
+                        cross_edge_cost=cross_cost,
+                    )
+                )
+                i += 2
+            else:
+                paired.append(tables[i])
+                i += 1
+        missing = [
+            e for e in segmentation.cross_edges if e.key() not in consumed
+        ]
+        if missing:
+            raise ValueError(
+                f"cross-segment edges not expressible by pairwise merging: "
+                f"{[e.key() for e in missing]}"
+            )
+        merged = paired[0]
+        for table in paired[1:]:
+            merged = merge_tables(
+                merged, table, candidates[table.start].intra
+            )
+        layer_cost = merged.cost
+        best_flat = int(np.argmin(layer_cost))
+        a, c = np.unravel_index(best_flat, layer_cost.shape)
+        assignment: Dict[str, int] = {}
+        merged.extract(int(a), int(c), assignment)
+        plan = {
+            name: candidates[name].specs[idx]
+            for name, idx in assignment.items()
+        }
+        model_cost = None
+        if n_layers > 1:
+            boundary_intra = candidates[merged.end].intra
+            stacked = stack_layers(merged, boundary_intra, n_layers)
+            model_cost = float(stacked.cost.min())
+        elapsed = time.perf_counter() - started
+        return SearchResult(
+            plan=plan,
+            cost=float(layer_cost[a, c]),
+            elapsed=elapsed,
+            candidate_sizes={
+                name: (cset.raw_size, len(cset))
+                for name, cset in candidates.items()
+            },
+            model_cost=model_cost,
+        )

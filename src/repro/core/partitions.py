@@ -1,0 +1,142 @@
+"""Basic partition steps composing a PrimePar partition sequence.
+
+A partition plan for an operator is a sequence of basic partitions
+(paper Sec. 3).  Two kinds exist:
+
+* :class:`DimPartition` — conventional *partition by dimension*: split one
+  dimension into two slices and distribute them across the two values of the
+  next device-id bit (paper Sec. 3.2).  Covers data parallelism (``B``) and
+  Megatron-style model parallelism (``N``/``K``/head dims).
+* :class:`TemporalPartition` — the paper's novel spatial-temporal primitive
+  ``P_{2^k x 2^k}`` (paper Sec. 3.3): distributes ``2^k`` sub-operators per
+  device across temporal steps over a logical ``2^k x 2^k`` device square,
+  avoiding all-reduce and tensor replication entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from .dims import Dim
+
+
+@dataclass(frozen=True)
+class DimPartition:
+    """Partition one dimension into two slices across one device-id bit.
+
+    When the dimension flattens several logical axes (an attention matmul's
+    ``B`` spans ``batch`` and ``heads``), ``axis`` selects which axis the
+    split applies to, forming a grid rather than contiguous flat slices —
+    this is how Megatron's head-aligned attention partitioning is expressed.
+    ``None`` defers to the operator's default axis (first with capacity).
+    """
+
+    dim: Dim
+    axis: Optional[str] = None
+
+    #: Device-id bits consumed by this step.
+    bits_consumed: int = 1
+    #: Temporal steps contributed by this step (spatial only, hence 1).
+    temporal_steps: int = 1
+
+    def __str__(self) -> str:
+        if self.axis:
+            return f"{self.dim.value}[{self.axis}]"
+        return self.dim.value
+
+    def slices(self) -> int:
+        """Number of slices this step multiplies the dimension's count by."""
+        return 2
+
+
+@dataclass(frozen=True)
+class TemporalPartition:
+    """The spatial-temporal primitive ``P_{2^k x 2^k}`` (paper Sec. 3.3).
+
+    Consumes ``2k`` device-id bits (row/column interleaved, Alg. 1 lines 9-10)
+    and schedules ``2^k`` sub-operators per device over temporal steps.
+    Dimensions ``M``, ``N``, ``K`` are each split into ``2^k`` slices; the
+    batch dimension is untouched.
+    """
+
+    k: int = 1
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"P_{{2^k x 2^k}} requires k >= 1, got k={self.k}")
+
+    @property
+    def side(self) -> int:
+        """Side length ``2^k`` of the logical device square."""
+        return 1 << self.k
+
+    @property
+    def bits_consumed(self) -> int:
+        return 2 * self.k
+
+    @property
+    def temporal_steps(self) -> int:
+        return self.side
+
+    def slices(self) -> int:
+        """Slice multiplier applied to each of ``M``, ``N``, ``K``."""
+        return self.side
+
+    def __str__(self) -> str:
+        return f"P{self.side}x{self.side}"
+
+
+@dataclass(frozen=True)
+class Replicate:
+    """Consume one device-id bit without partitioning anything.
+
+    The two halves of the bit execute identical sub-operators on identical
+    data — Megatron-LM's treatment of layer norms and element-wise ops
+    within a model-parallel group.  Costs replication memory and duplicated
+    compute, but no communication.
+    """
+
+    bits_consumed: int = 1
+    temporal_steps: int = 1
+
+    def __str__(self) -> str:
+        return "R"
+
+    def slices(self) -> int:
+        return 1
+
+
+PartitionStep = Union[DimPartition, TemporalPartition, Replicate]
+
+
+def parse_step(token: str) -> PartitionStep:
+    """Parse a step token: ``"B"``, ``"B[heads]"``, ``"R"``, or ``"P2x2"``."""
+    token = token.strip()
+    if token.upper() == "R":
+        return Replicate()
+    if "[" in token and token.endswith("]"):
+        dim_part, axis = token[:-1].split("[", 1)
+        if dim_part.upper() in {d.value for d in Dim}:
+            return DimPartition(Dim(dim_part.upper()), axis=axis)
+    if token.upper() in {d.value for d in Dim}:
+        return DimPartition(Dim(token.upper()))
+    if token.upper().startswith("P"):
+        body = token[1:].lower()
+        parts = body.split("x")
+        if len(parts) == 2 and parts[0] == parts[1] and parts[0].isdigit():
+            side = int(parts[0])
+            if side >= 2 and side & (side - 1) == 0:
+                return TemporalPartition(k=side.bit_length() - 1)
+    raise ValueError(f"unrecognised partition step token: {token!r}")
+
+
+def parse_sequence(text: str) -> Tuple[PartitionStep, ...]:
+    """Parse a comma/space separated sequence, e.g. ``"B, N, P2x2"``."""
+    tokens = [t for t in text.replace(",", " ").split() if t]
+    return tuple(parse_step(t) for t in tokens)
+
+
+def format_sequence(steps: Tuple[PartitionStep, ...]) -> str:
+    """Render a sequence in the paper's ``fc1.P`` notation, e.g. ``B-N-P2x2``."""
+    return "-".join(str(s) for s in steps) if steps else "(replicated)"

@@ -1,0 +1,1 @@
+"""Model IR: operators, computation graphs, transformer blocks, model zoo."""

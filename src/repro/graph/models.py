@@ -1,0 +1,96 @@
+"""Model zoo: the six transformer LLMs of the paper's evaluation (Sec. 6).
+
+Two architecture simplifications are applied (documented in DESIGN.md):
+
+* Llama2's SwiGLU MLP (three matmuls over an 11008/28672-wide intermediate)
+  is modelled as a standard two-matmul MLP with a FLOP-equivalent width
+  (``1.5x`` the SwiGLU width), preserving compute and communication volume.
+* Llama2-70B's grouped-query attention is modelled as multi-head attention;
+  partitioning behaviour of the attention matmuls is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from .transformer import BlockShape
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture description of one benchmark LLM.
+
+    Attributes:
+        name: Display name used across benchmarks.
+        hidden: Hidden size.
+        n_layers: Transformer layer count.
+        heads: Attention heads (hidden / heads = 128 for all six models).
+        ffn: MLP intermediate width (FLOP-equivalent for SwiGLU models).
+        vocab: Vocabulary size.
+        default_seq: Sequence length used in training workloads.
+    """
+
+    name: str
+    hidden: int
+    n_layers: int
+    heads: int
+    ffn: int
+    vocab: int
+    default_seq: int = 2048
+
+    @property
+    def parameters(self) -> int:
+        """Approximate parameter count (attention + MLP + embeddings)."""
+        per_layer = 4 * self.hidden * self.hidden + 2 * self.hidden * self.ffn
+        return self.n_layers * per_layer + 2 * self.vocab * self.hidden
+
+    def block_shape(self, batch: int, seq: int = 0) -> BlockShape:
+        """Shape of one transformer block for a given batch size."""
+        return BlockShape(
+            batch=batch,
+            seq=seq or self.default_seq,
+            hidden=self.hidden,
+            heads=self.heads,
+            ffn=self.ffn,
+        )
+
+
+OPT_6_7B = ModelConfig(
+    name="OPT 6.7B", hidden=4096, n_layers=32, heads=32, ffn=16384, vocab=50272
+)
+OPT_175B = ModelConfig(
+    name="OPT 175B", hidden=12288, n_layers=96, heads=96, ffn=49152, vocab=50272
+)
+LLAMA2_7B = ModelConfig(
+    name="Llama2 7B", hidden=4096, n_layers=32, heads=32, ffn=16512, vocab=32000
+)
+LLAMA2_70B = ModelConfig(
+    name="Llama2 70B", hidden=8192, n_layers=80, heads=64, ffn=43008, vocab=32000
+)
+BLOOM_7B1 = ModelConfig(
+    name="BLOOM 7B1", hidden=4096, n_layers=30, heads=32, ffn=16384, vocab=250880
+)
+BLOOM_176B = ModelConfig(
+    name="BLOOM 176B", hidden=14336, n_layers=70, heads=112, ffn=57344, vocab=250880
+)
+
+#: The paper's six benchmark models in Fig. 7/8 order.
+BENCHMARK_MODELS: Tuple[ModelConfig, ...] = (
+    OPT_6_7B,
+    OPT_175B,
+    LLAMA2_7B,
+    LLAMA2_70B,
+    BLOOM_7B1,
+    BLOOM_176B,
+)
+
+#: Lookup by short key used on benchmark command lines.
+MODELS_BY_KEY: Mapping[str, ModelConfig] = {
+    "opt-6.7b": OPT_6_7B,
+    "opt-175b": OPT_175B,
+    "llama2-7b": LLAMA2_7B,
+    "llama2-70b": LLAMA2_70B,
+    "bloom-7b1": BLOOM_7B1,
+    "bloom-176b": BLOOM_176B,
+}

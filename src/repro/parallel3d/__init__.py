@@ -1,0 +1,1 @@
+"""3D parallelism: pipeline schedules and (p, d, m) composition (Sec. 6.4)."""

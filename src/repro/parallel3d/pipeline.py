@@ -1,0 +1,110 @@
+"""Pipeline-parallel schedule models (GPipe and 1F1B).
+
+Pipeline parallelism splits the layer stack into ``p`` stages executed over
+micro-batches; periodic flushes leave bubbles of idle time (paper Sec. 1).
+The models here compute iteration latency from per-micro-batch stage times,
+the bubble overhead and the point-to-point activation traffic between
+stages — the quantities needed to compose 3D parallelism (paper Sec. 6.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..cluster.links import LinkSpec
+
+
+class PipelineSchedule(enum.Enum):
+    """Supported micro-batch schedules."""
+
+    GPIPE = "gpipe"
+    ONE_F_ONE_B = "1f1b"
+
+
+@dataclass(frozen=True)
+class PipelinePlan:
+    """Static pipeline configuration.
+
+    Attributes:
+        n_stages: Pipeline depth ``p``.
+        n_microbatches: Micro-batches per iteration (flush granularity).
+        schedule: Micro-batch schedule; both share the same critical path
+            length, but 1F1B bounds in-flight activations by ``p`` instead
+            of the micro-batch count (memory).
+    """
+
+    n_stages: int
+    n_microbatches: int
+    schedule: PipelineSchedule = PipelineSchedule.ONE_F_ONE_B
+
+    def __post_init__(self) -> None:
+        if self.n_stages < 1:
+            raise ValueError("pipeline needs at least one stage")
+        if self.n_microbatches < 1:
+            raise ValueError("need at least one micro-batch")
+
+    @property
+    def bubble_fraction(self) -> float:
+        """Idle fraction of the steady-state pipeline, ``(p-1)/(m+p-1)``."""
+        p, m = self.n_stages, self.n_microbatches
+        return (p - 1) / (m + p - 1)
+
+    def in_flight_microbatches(self) -> int:
+        """Micro-batches whose activations are live on the first stage."""
+        if self.schedule is PipelineSchedule.GPIPE:
+            return self.n_microbatches
+        return min(self.n_stages, self.n_microbatches)
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """Latency accounting of one pipelined training iteration."""
+
+    iteration_latency: float
+    bubble_latency: float
+    communication_latency: float
+    stage_latency: float
+
+    @property
+    def bubble_fraction(self) -> float:
+        if self.iteration_latency <= 0:
+            return 0.0
+        return self.bubble_latency / self.iteration_latency
+
+
+def pipeline_iteration(
+    plan: PipelinePlan,
+    stage_forward: float,
+    stage_backward: float,
+    boundary_bytes: float,
+    link: LinkSpec,
+) -> PipelineReport:
+    """Iteration latency of a ``p``-stage pipeline.
+
+    Args:
+        plan: Pipeline configuration.
+        stage_forward: One micro-batch's forward latency on one stage.
+        stage_backward: One micro-batch's backward+gradient latency.
+        boundary_bytes: Activation bytes crossing one stage boundary per
+            micro-batch (same volume returns as gradients).
+        link: The link class carrying stage-to-stage traffic.
+
+    The critical path of both schedules is ``(m + p - 1)`` slots of
+    ``(t_f + t_b)`` (Huang et al.; Narayanan et al.): ``m`` slots of work
+    plus ``p - 1`` slots of fill/drain bubble.  Stage-boundary transfers
+    overlap with compute except on the fill/drain ramps, where one transfer
+    per stage boundary is exposed.
+    """
+    p, m = plan.n_stages, plan.n_microbatches
+    slot = stage_forward + stage_backward
+    work = m * slot
+    bubble = (p - 1) * slot
+    hop = link.transfer_time(boundary_bytes) if p > 1 else 0.0
+    exposed_comm = 2 * (p - 1) * hop
+    return PipelineReport(
+        iteration_latency=work + bubble + exposed_comm,
+        bubble_latency=bubble,
+        communication_latency=exposed_comm,
+        stage_latency=slot,
+    )

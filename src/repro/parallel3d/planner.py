@@ -1,0 +1,216 @@
+"""3D parallelism composition — paper Sec. 6.4.
+
+A ``(p, d, m)`` configuration splits the cluster into ``p`` pipeline stages;
+each stage holds ``d x m`` devices running ``d``-way data parallelism over
+``m``-way tensor (model) parallelism.  Tensor-parallel plans come from
+either Megatron-LM's manual strategy or PrimePar's search with batch
+partitioning disabled (data parallelism is controlled externally, exactly
+as the paper evaluates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..cluster.collectives import COLLECTIVE_EFFICIENCY
+from ..cluster.profiler import FabricProfiler
+from ..cluster.topology import ClusterTopology, v100_cluster
+from ..core.dims import Dim
+from ..core.optimizer.strategy import PrimeParOptimizer
+from ..core.spec import PartitionSpec
+from ..graph.models import ModelConfig
+from ..graph.tensors import DTYPE_BYTES
+from ..graph.transformer import build_block_graph
+from ..sim.executor import TrainingSimulator
+from .pipeline import PipelinePlan, PipelineReport, pipeline_iteration
+
+
+@dataclass(frozen=True)
+class Config3D:
+    """One ``(p, d, m)`` configuration over ``p * d * m`` devices."""
+
+    pipeline: int
+    data: int
+    model: int
+
+    @property
+    def n_devices(self) -> int:
+        return self.pipeline * self.data * self.model
+
+    def __str__(self) -> str:
+        return f"(p={self.pipeline}, d={self.data}, m={self.model})"
+
+
+def enumerate_configs(
+    n_devices: int, require_pipeline: bool = True
+) -> Iterator[Config3D]:
+    """All power-of-two ``(p, d, m)`` factorisations of ``n_devices``.
+
+    ``require_pipeline`` keeps only ``p > 1`` (the paper's Fig. 10 sweep).
+    """
+    p = 2 if require_pipeline else 1
+    while p <= n_devices:
+        d = 1
+        while p * d <= n_devices:
+            m = n_devices // (p * d)
+            if p * d * m == n_devices:
+                yield Config3D(pipeline=p, data=d, model=m)
+            d *= 2
+        p *= 2
+
+
+@dataclass
+class Result3D:
+    """Simulated outcome of one 3D configuration."""
+
+    config: Config3D
+    throughput: float
+    iteration_latency: float
+    pipeline: PipelineReport
+    dp_allreduce_latency: float
+    plan: Dict[str, PartitionSpec]
+
+
+class Planner3D:
+    """Simulates 3D-parallel training of a transformer model.
+
+    Args:
+        model: Model architecture.
+        n_devices: Total cluster size (the paper uses 32).
+        global_batch: Sequences per training iteration.
+        microbatch: Sequences per micro-batch within the pipeline.
+        alpha: Memory weight passed to PrimePar's search.
+    """
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        n_devices: int = 32,
+        global_batch: int = 32,
+        microbatch: int = 0,
+        alpha: float = 0.0,
+    ) -> None:
+        self.model = model
+        self.n_devices = n_devices
+        self.global_batch = global_batch
+        self.microbatch = microbatch
+        self.alpha = alpha
+        self._plan_cache: Dict[Tuple[str, int, int], Tuple] = {}
+
+    # ------------------------------------------------------------------
+    # stage-level tensor parallel plans
+    # ------------------------------------------------------------------
+
+    def _stage_topology(self, m: int) -> ClusterTopology:
+        """Topology of one model-parallel group of ``m`` devices.
+
+        Megatron's deployment keeps model parallelism on adjacent ranks
+        (within nodes first), so an ``m``-device group spans ``m / 4``
+        nodes of the V100 cluster.
+        """
+        return v100_cluster(m)
+
+    def _plan_for(
+        self, method: str, m: int, micro: int
+    ) -> Tuple[Dict[str, PartitionSpec], TrainingSimulator, object]:
+        from ..baselines.megatron import megatron_plan  # local: avoid cycle
+
+        key = (method, m, micro)
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            return cached
+        topology = self._stage_topology(m)
+        profiler = FabricProfiler(topology)
+        simulator = TrainingSimulator(profiler)
+        graph = build_block_graph(self.model.block_shape(batch=micro))
+        if method == "megatron":
+            plan = megatron_plan(graph, topology.n_bits, dp_degree=1)
+        elif method == "primepar":
+            optimizer = PrimeParOptimizer(
+                profiler, alpha=self.alpha, partition_batch=False
+            )
+            plan = optimizer.optimize(graph).plan
+        else:
+            raise ValueError(f"unknown method {method!r}")
+        self._plan_cache[key] = (plan, simulator, graph)
+        return plan, simulator, graph
+
+    # ------------------------------------------------------------------
+    # data-parallel gradient synchronisation
+    # ------------------------------------------------------------------
+
+    def _dp_allreduce_latency(self, d: int, m: int, layers_per_stage: int) -> float:
+        """Gradient all-reduce across ``d`` replicas, once per iteration.
+
+        Replicas of large models sit in different nodes; the ring all-reduce
+        of each device's weight shard crosses the inter-node fabric (this is
+        the term that makes ``d > 1`` unattractive for 100B+ models —
+        paper Sec. 6.4).
+        """
+        if d <= 1:
+            return 0.0
+        shard_elements = (
+            self.model.parameters / max(self.model.n_layers, 1) * layers_per_stage / m
+        )
+        shard_bytes = shard_elements * DTYPE_BYTES
+        cluster = v100_cluster(self.n_devices)
+        link = cluster.inter_link if d * m > cluster.gpus_per_node else cluster.intra_link
+        streams = max(1, min(m, cluster.gpus_per_node))
+        bandwidth = link.bandwidth * COLLECTIVE_EFFICIENCY / streams
+        return 2 * (d - 1) / d * shard_bytes / bandwidth + link.latency * 2 * (d - 1)
+
+    # ------------------------------------------------------------------
+    # end-to-end simulation
+    # ------------------------------------------------------------------
+
+    def simulate(self, config: Config3D, method: str) -> Result3D:
+        """Simulate one iteration under ``config`` with ``method``'s plans."""
+        if config.n_devices != self.n_devices:
+            raise ValueError(
+                f"{config} covers {config.n_devices} devices, cluster has "
+                f"{self.n_devices}"
+            )
+        p, d, m = config.pipeline, config.data, config.model
+        layers_per_stage = max(self.model.n_layers // p, 1)
+        batch_per_replica = max(self.global_batch // d, 1)
+        micro = self.microbatch or max(min(batch_per_replica, 1), 1)
+        n_micro = max(batch_per_replica // micro, 1)
+        plan, simulator, graph = self._plan_for(method, m, micro)
+        stage_report = simulator.run_model(graph, plan, micro, layers_per_stage)
+        forward = stage_report.latency / 3.0
+        backward = stage_report.latency - forward
+        shape = self.model.block_shape(batch=micro)
+        boundary_bytes = (
+            shape.batch * shape.seq * shape.hidden * DTYPE_BYTES / m
+        )
+        cluster = v100_cluster(self.n_devices)
+        pipe = pipeline_iteration(
+            PipelinePlan(n_stages=p, n_microbatches=n_micro),
+            forward,
+            backward,
+            boundary_bytes,
+            cluster.inter_link if self.n_devices > cluster.gpus_per_node else cluster.intra_link,
+        )
+        dp_latency = self._dp_allreduce_latency(d, m, layers_per_stage)
+        iteration = pipe.iteration_latency + dp_latency
+        return Result3D(
+            config=config,
+            throughput=self.global_batch / iteration,
+            iteration_latency=iteration,
+            pipeline=pipe,
+            dp_allreduce_latency=dp_latency,
+            plan=plan,
+        )
+
+    def sweep(self, method: str) -> List[Result3D]:
+        """Fig. 10's sweep: every ``(p, d, m)`` with ``p > 1``."""
+        results = []
+        for config in enumerate_configs(self.n_devices):
+            if config.data > self.global_batch:
+                continue
+            try:
+                results.append(self.simulate(config, method))
+            except ValueError:
+                continue
+        return results

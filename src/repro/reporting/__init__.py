@@ -1,0 +1,1 @@
+"""Benchmark output: ASCII tables and figure series."""

@@ -1,0 +1,88 @@
+"""Plain-text tables and figure series for benchmark output.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class FigureSeries:
+    """One named series of a figure (e.g. one system's bars)."""
+
+    name: str
+    values: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, label: str, value: float) -> None:
+        self.values[label] = value
+
+
+@dataclass
+class Figure:
+    """A figure as labelled series, printable as a table."""
+
+    title: str
+    series: List[FigureSeries] = field(default_factory=list)
+
+    def series_named(self, name: str) -> FigureSeries:
+        for s in self.series:
+            if s.name == name:
+                return s
+        created = FigureSeries(name)
+        self.series.append(created)
+        return created
+
+    def labels(self) -> List[str]:
+        seen: List[str] = []
+        for s in self.series:
+            for label in s.values:
+                if label not in seen:
+                    seen.append(label)
+        return seen
+
+    def normalized_to(self, baseline: str) -> "Figure":
+        """Divide every series by the named baseline series, label-wise."""
+        base = self.series_named(baseline)
+        out = Figure(title=f"{self.title} (normalized to {baseline})")
+        for s in self.series:
+            ns = out.series_named(s.name)
+            for label, value in s.values.items():
+                denom = base.values.get(label)
+                if denom:
+                    ns.add(label, value / denom)
+        return out
+
+    def render(self, fmt: str = "{:.3f}") -> str:
+        labels = self.labels()
+        headers = ["series"] + labels
+        rows = []
+        for s in self.series:
+            row = [s.name] + [
+                fmt.format(s.values[l]) if l in s.values else "-" for l in labels
+            ]
+            rows.append(row)
+        return format_table(headers, rows, title=self.title)

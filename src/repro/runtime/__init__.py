@@ -1,0 +1,1 @@
+"""Numerical ground truth: numpy virtual cluster executing partitioned training."""

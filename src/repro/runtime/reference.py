@@ -1,0 +1,38 @@
+"""Single-device reference implementation of the linear operator's training.
+
+The distributed executions in :mod:`repro.runtime.linear_exec` must agree
+with these results to numerical precision regardless of partitioning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+def reference_iteration(
+    inputs: np.ndarray,
+    weight: np.ndarray,
+    grad_output: np.ndarray,
+    lr: float = 0.1,
+) -> Dict[str, np.ndarray]:
+    """One training iteration of ``O = I W`` on a single device.
+
+    Args:
+        inputs: ``I`` of shape ``(B, M, N)``.
+        weight: ``W`` of shape ``(N, K)``.
+        grad_output: ``dO`` of shape ``(B, M, K)``.
+        lr: SGD learning rate for the weight update.
+    """
+    output = inputs @ weight
+    grad_input = grad_output @ weight.T
+    flat_i = inputs.reshape(-1, inputs.shape[-1])
+    flat_do = grad_output.reshape(-1, grad_output.shape[-1])
+    grad_weight = flat_i.T @ flat_do
+    return {
+        "O": output,
+        "dI": grad_input,
+        "dW": grad_weight,
+        "W": weight - lr * grad_weight,
+    }

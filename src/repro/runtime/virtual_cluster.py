@@ -1,0 +1,106 @@
+"""A virtual cluster: numpy devices with explicit point-to-point transport.
+
+Devices hold named tensor blocks; messages move blocks between devices in
+synchronous rounds (send-all, then deliver-all), emulating the double
+buffering of the spatial-temporal primitive: every device computes with the
+current buffers while the blocks for the next step are in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.device import DeviceId, all_devices
+
+
+@dataclass
+class VirtualDevice:
+    """One simulated device holding named tensor blocks."""
+
+    device_id: DeviceId
+    store: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def rank(self) -> int:
+        return self.device_id.rank
+
+    def put(self, name: str, block: np.ndarray) -> None:
+        self.store[name] = block
+
+    def get(self, name: str) -> np.ndarray:
+        return self.store[name]
+
+
+class VirtualCluster:
+    """``2**n_bits`` virtual devices plus a message mailbox.
+
+    Communication statistics (message and byte counts per kind) are recorded
+    so tests can assert, e.g., that the temporal primitive induces zero
+    all-reduce traffic (paper Feature 1).
+    """
+
+    def __init__(self, n_bits: int) -> None:
+        self.n_bits = n_bits
+        self.devices: List[VirtualDevice] = [
+            VirtualDevice(d) for d in all_devices(n_bits)
+        ]
+        self._mailbox: List[Tuple[int, int, str, np.ndarray]] = []
+        self.stats: Dict[str, int] = {
+            "p2p_messages": 0,
+            "p2p_bytes": 0,
+            "allreduce_invocations": 0,
+            "allreduce_bytes": 0,
+        }
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def device(self, device_id: DeviceId) -> VirtualDevice:
+        return self.devices[device_id.rank]
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+
+    def send(self, src: DeviceId, dst: DeviceId, name: str, block: np.ndarray) -> None:
+        """Queue a block for delivery at the next :meth:`deliver`."""
+        self._mailbox.append((src.rank, dst.rank, name, block.copy()))
+        self.stats["p2p_messages"] += 1
+        self.stats["p2p_bytes"] += block.nbytes
+
+    def deliver(self) -> None:
+        """Deliver all queued messages into the destinations' stores.
+
+        Sends were snapshotted at :meth:`send` time, so a round of exchanges
+        is insensitive to delivery order — the double-buffer semantics.
+        """
+        for _, dst, name, block in self._mailbox:
+            self.devices[dst].put(name, block)
+        self._mailbox.clear()
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+
+    def allreduce(
+        self,
+        members: List[DeviceId],
+        name: str,
+        representatives: List[DeviceId] = None,
+    ) -> None:
+        """Sum ``name`` blocks across ``members``; each gets the sum.
+
+        ``representatives`` restricts the summation to one device per
+        partial-sum class; pure replicas receive the result without
+        contributing (they hold copies of a representative's partial).
+        """
+        sources = representatives or members
+        blocks = [self.devices[d.rank].get(name) for d in sources]
+        total = np.sum(blocks, axis=0)
+        for member in members:
+            self.devices[member.rank].put(name, total.copy())
+        self.stats["allreduce_invocations"] += 1
+        self.stats["allreduce_bytes"] += total.nbytes * len(sources)

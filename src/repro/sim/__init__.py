@@ -1,0 +1,1 @@
+"""Execution simulation: kernel timelines, iteration reports, memory playback."""

@@ -1,0 +1,62 @@
+"""Shared fixtures: small clusters, profilers and graphs, cached per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.profiler import FabricProfiler
+from repro.cluster.topology import v100_cluster
+from repro.graph.models import OPT_175B, OPT_6_7B
+from repro.graph.transformer import build_block_graph, build_mlp_graph
+
+
+@pytest.fixture(scope="session")
+def topo4():
+    return v100_cluster(4)
+
+
+@pytest.fixture(scope="session")
+def topo8():
+    return v100_cluster(8)
+
+
+@pytest.fixture(scope="session")
+def topo16():
+    return v100_cluster(16)
+
+
+@pytest.fixture(scope="session")
+def profiler4(topo4):
+    return FabricProfiler(topo4)
+
+
+@pytest.fixture(scope="session")
+def profiler8(topo8):
+    return FabricProfiler(topo8)
+
+
+@pytest.fixture(scope="session")
+def profiler16(topo16):
+    return FabricProfiler(topo16)
+
+
+@pytest.fixture(scope="session")
+def small_block():
+    """One OPT-6.7B block at batch 8 — the default search workload."""
+    return build_block_graph(OPT_6_7B.block_shape(batch=8))
+
+
+@pytest.fixture(scope="session")
+def large_block():
+    """One OPT-175B block at batch 8."""
+    return build_block_graph(OPT_175B.block_shape(batch=8))
+
+
+@pytest.fixture(scope="session")
+def small_mlp():
+    return build_mlp_graph(OPT_6_7B.block_shape(batch=8))
+
+
+@pytest.fixture(scope="session")
+def large_mlp():
+    return build_mlp_graph(OPT_175B.block_shape(batch=8))

@@ -1,0 +1,68 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_search_defaults(self):
+        args = build_parser().parse_args(["search"])
+        assert args.model == "opt-175b"
+        assert args.devices == 16
+        assert not args.no_temporal
+
+    def test_verify_args(self):
+        args = build_parser().parse_args(
+            ["verify", "--spec", "P2x2", "--bits", "2"]
+        )
+        assert args.spec == "P2x2"
+        assert args.bits == 2
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "--model", "gpt-5"])
+
+
+class TestCommands:
+    def test_verify_pass(self, capsys):
+        assert main(["verify", "--spec", "P2x2", "--bits", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "PASSED" in out
+        assert "all-reduce invocations: 0" in out
+
+    def test_verify_megatron_spec(self, capsys):
+        assert main(["verify", "--spec", "B-N", "--bits", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "PASSED" in out
+
+    def test_search_small(self, capsys):
+        code = main(
+            ["search", "--model", "opt-6.7b", "--devices", "4", "--batch", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "partition sequence" in out
+        assert "samples/s" in out
+
+    def test_search_no_temporal(self, capsys):
+        code = main(
+            [
+                "search", "--model", "opt-6.7b", "--devices", "4",
+                "--batch", "8", "--no-temporal",
+            ]
+        )
+        assert code == 0
+        assert "P2x2" not in capsys.readouterr().out
+
+    def test_compare_small(self, capsys):
+        code = main(
+            ["compare", "--model", "opt-6.7b", "--devices", "4", "--batch", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "megatron" in out and "primepar" in out

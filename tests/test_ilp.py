@@ -1,0 +1,54 @@
+"""Branch-and-bound reference optimizer vs the segmented DP."""
+
+import pytest
+
+from repro.core.optimizer.ilp import BranchAndBoundSolver
+from repro.core.optimizer.strategy import PrimeParOptimizer
+
+
+class TestBranchAndBound:
+    @pytest.fixture(scope="class")
+    def setting(self, profiler4, small_mlp):
+        optimizer = PrimeParOptimizer(profiler4)
+        candidates = optimizer.candidates_for(small_mlp)
+        return optimizer, candidates
+
+    def test_matches_dp_optimum(self, setting, small_mlp):
+        """Both exact methods agree (paper Sec. 5.2 optimality proof)."""
+        optimizer, candidates = setting
+        dp = optimizer.optimize(small_mlp)
+        solver = BranchAndBoundSolver(
+            small_mlp, candidates, optimizer.inter_model
+        )
+        bb = solver.solve()
+        assert bb.cost == pytest.approx(dp.cost, rel=1e-9)
+
+    def test_plan_covers_all_nodes(self, setting, small_mlp):
+        optimizer, candidates = setting
+        solver = BranchAndBoundSolver(
+            small_mlp, candidates, optimizer.inter_model
+        )
+        result = solver.solve()
+        assert set(result.plan) == {n.name for n in small_mlp.nodes}
+        assert result.nodes_expanded > 0
+        assert result.elapsed >= 0
+
+    def test_time_limit_enforced(self, profiler4, small_block):
+        optimizer = PrimeParOptimizer(profiler4)
+        candidates = optimizer.candidates_for(small_block)
+        solver = BranchAndBoundSolver(
+            small_block, candidates, optimizer.inter_model
+        )
+        with pytest.raises(TimeoutError):
+            solver.solve(time_limit=0.0)
+
+    def test_block_graph_agreement(self, profiler4, small_block):
+        """On the full 13-node block, branch-and-bound certifies the DP."""
+        optimizer = PrimeParOptimizer(profiler4)
+        dp = optimizer.optimize(small_block)
+        candidates = optimizer.candidates_for(small_block)
+        solver = BranchAndBoundSolver(
+            small_block, candidates, optimizer.inter_model
+        )
+        bb = solver.solve(time_limit=120.0)
+        assert bb.cost == pytest.approx(dp.cost, rel=1e-9)

@@ -1,0 +1,126 @@
+"""Grid layouts: axis-targeted slicing of flattened dimensions."""
+
+import pytest
+
+from repro.core.dims import Dim
+from repro.core.layout import axis_intervals, default_axis, grid_events, grid_signature
+from repro.core.spec import PartitionSpec
+from repro.graph.models import OPT_6_7B
+from repro.graph.transformer import build_block_graph
+
+
+@pytest.fixture(scope="module")
+def block():
+    return build_block_graph(OPT_6_7B.block_shape(batch=8))
+
+
+class TestDefaultAxis:
+    def test_prefers_major_axis_with_capacity(self):
+        sizes = {"batch": 8, "heads": 32}
+        assert default_axis(("batch", "heads"), sizes, {"batch": 1, "heads": 1}, 2) == "batch"
+
+    def test_spills_to_minor_when_exhausted(self):
+        sizes = {"batch": 2, "heads": 32}
+        factors = {"batch": 2, "heads": 1}
+        assert default_axis(("batch", "heads"), sizes, factors, 2) == "heads"
+
+    def test_falls_back_to_most_capacity(self):
+        sizes = {"a": 2, "b": 3}
+        factors = {"a": 2, "b": 2}
+        assert default_axis(("a", "b"), sizes, factors, 2) == "b"
+
+
+class TestGridEvents:
+    def test_explicit_axis_respected(self, block):
+        scores = block.node("L0.scores")
+        spec = PartitionSpec.from_string("B[heads]-B[batch]", 2)
+        events = grid_events(scores, spec, Dim.B)
+        assert events == [("heads", 2), ("batch", 2)]
+
+    def test_default_axis_resolution(self, block):
+        scores = block.node("L0.scores")
+        spec = PartitionSpec.from_string("B-B", 2)
+        events = grid_events(scores, spec, Dim.B)
+        assert events == [("batch", 2), ("batch", 2)]
+
+    def test_temporal_contributes_to_mnk(self, block):
+        fc1 = block.node("L0.fc1")
+        spec = PartitionSpec.from_string("P2x2", 2)
+        assert grid_events(fc1, spec, Dim.M) == [("seq", 2)]
+        assert grid_events(fc1, spec, Dim.N) == [("hidden", 2)]
+        assert grid_events(fc1, spec, Dim.K) == [("ffn", 2)]
+
+    def test_qkv_column_split_targets_heads(self, block):
+        qkv = block.node("L0.qkv")
+        spec = PartitionSpec.from_string("K-K", 2)
+        assert grid_events(qkv, spec, Dim.K) == [("heads", 2), ("heads", 2)]
+
+    def test_unknown_axis_rejected(self, block):
+        fc1 = block.node("L0.fc1")
+        spec = PartitionSpec.from_string("K[bogus]-B", 2)
+        with pytest.raises(ValueError):
+            grid_events(fc1, spec, Dim.K)
+
+    def test_absent_dim_has_no_events(self, block):
+        ln = block.node("L0.ln1")
+        spec = PartitionSpec.from_string("B-K", 2, legal_dims=ln.legal_dims, allow_temporal=False)
+        assert grid_events(ln, spec, Dim.N) == []
+
+
+class TestAxisIntervals:
+    def test_single_axis_contiguous(self, block):
+        fc1 = block.node("L0.fc1")
+        spec = PartitionSpec.from_string("K-K", 2)
+        intervals = axis_intervals(fc1, spec, Dim.K, 1)
+        assert intervals["ffn"].start == 4096
+        assert intervals["ffn"].stop == 8192
+
+    def test_grid_slices_are_boxes(self, block):
+        """(batch x heads) grid: slice index decomposes into both axes."""
+        scores = block.node("L0.scores")
+        spec = PartitionSpec.from_string("B[batch]-B[heads]", 2)
+        # slice 3 = batch half 1, heads half 1
+        intervals = axis_intervals(scores, spec, Dim.B, 3)
+        assert (intervals["batch"].start, intervals["batch"].stop) == (4, 8)
+        assert (intervals["heads"].start, intervals["heads"].stop) == (16, 32)
+
+    def test_event_order_sets_significance(self, block):
+        scores = block.node("L0.scores")
+        spec = PartitionSpec.from_string("B[heads]-B[batch]", 2)
+        # Earlier event (heads) is the most significant digit.
+        intervals = axis_intervals(scores, spec, Dim.B, 2)
+        assert (intervals["heads"].start, intervals["heads"].stop) == (16, 32)
+        assert (intervals["batch"].start, intervals["batch"].stop) == (0, 4)
+
+    def test_volume_preserved(self, block):
+        """Across all slices, per-axis boxes tile the full dim."""
+        qkv = block.node("L0.qkv")
+        spec = PartitionSpec.from_string("K-K", 2)
+        total = 0
+        for index in range(4):
+            intervals = axis_intervals(qkv, spec, Dim.K, index)
+            volume = 1
+            for interval in intervals.values():
+                volume *= interval.length
+            total += volume
+        assert total == qkv.dim_size(Dim.K)
+
+    def test_unpartitioned_axes_full(self, block):
+        qkv = block.node("L0.qkv")
+        spec = PartitionSpec.from_string("K-K", 2)
+        intervals = axis_intervals(qkv, spec, Dim.K, 0)
+        assert intervals["qkv"].length == 3
+        assert intervals["embed"].length == qkv.axis_sizes["embed"]
+
+
+class TestGridSignature:
+    def test_signature_distinguishes_axis_choice(self, block):
+        scores = block.node("L0.scores")
+        a = PartitionSpec.from_string("B[batch]-B[heads]", 2)
+        b = PartitionSpec.from_string("B[heads]-B[batch]", 2)
+        assert grid_signature(scores, a) != grid_signature(scores, b)
+
+    def test_signature_stable(self, block):
+        fc1 = block.node("L0.fc1")
+        spec = PartitionSpec.from_string("N-P2x2", 3)
+        assert grid_signature(fc1, spec) == grid_signature(fc1, spec)

@@ -1,0 +1,61 @@
+"""Phase-resolved memory playback."""
+
+import pytest
+
+from repro.baselines.megatron import megatron_plan
+from repro.core.cost.memory import MemoryCostModel
+from repro.sim.memory_tracker import MemoryTimeline, track_iteration
+
+
+class TestMemoryTimeline:
+    def test_peak_tracks_maximum(self):
+        timeline = MemoryTimeline()
+        timeline.record("a", "stash", 10)
+        timeline.record("b", "stash", 5)
+        timeline.record("a", "stash", -10)
+        timeline.record("c", "stash", 3)
+        assert timeline.peak == 15
+        assert timeline.resident == 8
+
+    def test_zero_delta_ignored(self):
+        timeline = MemoryTimeline()
+        timeline.record("a", "stash", 0)
+        assert not timeline.events
+
+    def test_composition_at_peak(self):
+        timeline = MemoryTimeline()
+        timeline.record("w", "parameters", 100)
+        timeline.record("a", "stash", 50)
+        timeline.record("a", "stash", -50)
+        composition = timeline.composition_at_peak()
+        assert composition == {"parameters": 100, "stash": 50}
+
+
+class TestTrackIteration:
+    def test_peak_matches_static_model(self, large_block):
+        """Peak occurs at the end of Forward: all stashes live at once, so
+        the playback peak equals the paper's static sum."""
+        plan = megatron_plan(large_block, 3, dp_degree=2)
+        timeline = track_iteration(large_block, plan)
+        static = MemoryCostModel().plan_memory(
+            (node, plan[node.name]) for node in large_block.nodes
+        )
+        assert timeline.peak == pytest.approx(static)
+
+    def test_iteration_ends_with_persistent_state_only(self, large_block):
+        plan = megatron_plan(large_block, 3, dp_degree=2)
+        timeline = track_iteration(large_block, plan)
+        memory = MemoryCostModel()
+        persistent = sum(
+            memory.parameter_bytes(n, plan[n.name])
+            + memory.double_buffer_bytes(n, plan[n.name])
+            for n in large_block.nodes
+        )
+        assert timeline.resident == pytest.approx(persistent)
+
+    def test_peak_composition_includes_stash(self, large_block):
+        plan = megatron_plan(large_block, 3, dp_degree=2)
+        timeline = track_iteration(large_block, plan)
+        composition = timeline.composition_at_peak()
+        assert composition.get("stash", 0) > 0
+        assert composition.get("parameters", 0) > 0

@@ -1,0 +1,112 @@
+"""Pipeline schedules and 3D-parallelism composition."""
+
+import pytest
+
+from repro.cluster.links import INFINIBAND_100G
+from repro.graph.models import OPT_6_7B
+from repro.parallel3d.pipeline import (
+    PipelinePlan,
+    PipelineSchedule,
+    pipeline_iteration,
+)
+from repro.parallel3d.planner import Config3D, Planner3D, enumerate_configs
+
+
+class TestPipelinePlan:
+    def test_bubble_fraction(self):
+        plan = PipelinePlan(n_stages=4, n_microbatches=12)
+        assert plan.bubble_fraction == pytest.approx(3 / 15)
+
+    def test_single_stage_no_bubble(self):
+        plan = PipelinePlan(n_stages=1, n_microbatches=8)
+        assert plan.bubble_fraction == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelinePlan(n_stages=0, n_microbatches=4)
+        with pytest.raises(ValueError):
+            PipelinePlan(n_stages=2, n_microbatches=0)
+
+    def test_1f1b_bounds_in_flight(self):
+        gpipe = PipelinePlan(4, 16, schedule=PipelineSchedule.GPIPE)
+        onef = PipelinePlan(4, 16, schedule=PipelineSchedule.ONE_F_ONE_B)
+        assert gpipe.in_flight_microbatches() == 16
+        assert onef.in_flight_microbatches() == 4
+
+
+class TestPipelineIteration:
+    def test_critical_path(self):
+        plan = PipelinePlan(n_stages=4, n_microbatches=8)
+        report = pipeline_iteration(plan, 1.0, 2.0, 0.0, INFINIBAND_100G)
+        assert report.iteration_latency == pytest.approx((8 + 3) * 3.0)
+        assert report.bubble_latency == pytest.approx(3 * 3.0)
+
+    def test_more_microbatches_lower_bubble_fraction(self):
+        few = pipeline_iteration(
+            PipelinePlan(4, 4), 1.0, 2.0, 0.0, INFINIBAND_100G
+        )
+        many = pipeline_iteration(
+            PipelinePlan(4, 32), 1.0, 2.0, 0.0, INFINIBAND_100G
+        )
+        assert many.bubble_fraction < few.bubble_fraction
+
+    def test_boundary_comm_exposed_on_ramps(self):
+        plan = PipelinePlan(n_stages=4, n_microbatches=8)
+        without = pipeline_iteration(plan, 1.0, 2.0, 0.0, INFINIBAND_100G)
+        with_comm = pipeline_iteration(plan, 1.0, 2.0, 1 << 24, INFINIBAND_100G)
+        assert with_comm.iteration_latency > without.iteration_latency
+
+    def test_single_stage_has_no_comm(self):
+        plan = PipelinePlan(n_stages=1, n_microbatches=4)
+        report = pipeline_iteration(plan, 1.0, 2.0, 1 << 24, INFINIBAND_100G)
+        assert report.communication_latency == 0.0
+
+
+class TestConfigEnumeration:
+    def test_all_configs_cover_devices(self):
+        for config in enumerate_configs(32):
+            assert config.n_devices == 32
+            assert config.pipeline > 1
+
+    def test_pipeline_optional(self):
+        configs = list(enumerate_configs(8, require_pipeline=False))
+        assert Config3D(1, 1, 8) in configs
+
+    def test_count_at_32(self):
+        assert len(list(enumerate_configs(32))) == 15
+
+
+class TestPlanner3D:
+    @pytest.fixture(scope="class")
+    def planner(self):
+        return Planner3D(OPT_6_7B, n_devices=8, global_batch=8, microbatch=2)
+
+    def test_simulate_megatron(self, planner):
+        result = planner.simulate(Config3D(2, 2, 2), "megatron")
+        assert result.throughput > 0
+        assert result.dp_allreduce_latency > 0
+
+    def test_no_dp_no_gradient_sync(self, planner):
+        result = planner.simulate(Config3D(2, 1, 4), "megatron")
+        assert result.dp_allreduce_latency == 0.0
+
+    def test_device_count_checked(self, planner):
+        with pytest.raises(ValueError):
+            planner.simulate(Config3D(2, 2, 4), "megatron")
+
+    def test_unknown_method_rejected(self, planner):
+        with pytest.raises(ValueError):
+            planner.simulate(Config3D(2, 2, 2), "deepspeed")
+
+    def test_sweep_respects_batch(self, planner):
+        results = planner.sweep("megatron")
+        assert results
+        for result in results:
+            assert result.config.data <= 8
+
+    def test_primepar_never_slower_per_config(self, planner):
+        """PrimePar's stage plans beat or match Megatron's per config."""
+        for config in [Config3D(2, 1, 4), Config3D(2, 2, 2)]:
+            meg = planner.simulate(config, "megatron")
+            pp = planner.simulate(config, "primepar")
+            assert pp.throughput >= meg.throughput * 0.98

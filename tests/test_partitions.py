@@ -1,0 +1,113 @@
+"""Basic partition steps: construction, parsing, formatting."""
+
+import pytest
+
+from repro.core.dims import Dim
+from repro.core.partitions import (
+    DimPartition,
+    Replicate,
+    TemporalPartition,
+    format_sequence,
+    parse_sequence,
+    parse_step,
+)
+
+
+class TestDimPartition:
+    def test_consumes_one_bit(self):
+        step = DimPartition(Dim.N)
+        assert step.bits_consumed == 1
+        assert step.temporal_steps == 1
+        assert step.slices() == 2
+
+    def test_str_plain(self):
+        assert str(DimPartition(Dim.K)) == "K"
+
+    def test_str_with_axis(self):
+        assert str(DimPartition(Dim.B, axis="heads")) == "B[heads]"
+
+    def test_equality_includes_axis(self):
+        assert DimPartition(Dim.B) != DimPartition(Dim.B, axis="heads")
+        assert DimPartition(Dim.B, axis="heads") == DimPartition(Dim.B, axis="heads")
+
+
+class TestTemporalPartition:
+    def test_k1_properties(self):
+        step = TemporalPartition(1)
+        assert step.side == 2
+        assert step.bits_consumed == 2
+        assert step.temporal_steps == 2
+        assert step.slices() == 2
+
+    def test_k2_properties(self):
+        step = TemporalPartition(2)
+        assert step.side == 4
+        assert step.bits_consumed == 4
+        assert step.temporal_steps == 4
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            TemporalPartition(0)
+
+    def test_str(self):
+        assert str(TemporalPartition(1)) == "P2x2"
+        assert str(TemporalPartition(2)) == "P4x4"
+
+
+class TestReplicate:
+    def test_properties(self):
+        step = Replicate()
+        assert step.bits_consumed == 1
+        assert step.temporal_steps == 1
+        assert step.slices() == 1
+        assert str(step) == "R"
+
+
+class TestParsing:
+    def test_parse_dims(self):
+        for token, dim in [("B", Dim.B), ("m", Dim.M), ("N", Dim.N), ("k", Dim.K)]:
+            step = parse_step(token)
+            assert isinstance(step, DimPartition)
+            assert step.dim is dim
+
+    def test_parse_axis(self):
+        step = parse_step("B[heads]")
+        assert step == DimPartition(Dim.B, axis="heads")
+
+    def test_parse_replicate(self):
+        assert parse_step("R") == Replicate()
+        assert parse_step("r") == Replicate()
+
+    def test_parse_temporal(self):
+        assert parse_step("P2x2") == TemporalPartition(1)
+        assert parse_step("P4x4") == TemporalPartition(2)
+        assert parse_step("p8x8") == TemporalPartition(3)
+
+    def test_parse_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            parse_step("P2x4")
+
+    def test_parse_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            parse_step("P3x3")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_step("X")
+
+    def test_parse_sequence_commas_and_spaces(self):
+        steps = parse_sequence("B, N P2x2")
+        assert steps == (
+            DimPartition(Dim.B),
+            DimPartition(Dim.N),
+            TemporalPartition(1),
+        )
+
+    def test_format_round_trip(self):
+        steps = (DimPartition(Dim.B), Replicate(), TemporalPartition(2))
+        text = format_sequence(steps)
+        assert text == "B-R-P4x4"
+        assert parse_sequence(text.replace("-", " ")) == steps
+
+    def test_format_empty(self):
+        assert format_sequence(()) == "(replicated)"

@@ -1,0 +1,51 @@
+"""Reporting helpers: tables and figure series."""
+
+from repro.reporting.tables import Figure, FigureSeries, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all("|" in line for line in (lines[0], lines[2], lines[3]))
+
+    def test_title(self):
+        text = format_table(["x"], [["1"]], title="Table 2")
+        assert text.splitlines()[0] == "Table 2"
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestFigure:
+    def test_series_named_creates(self):
+        fig = Figure("fig")
+        s = fig.series_named("megatron")
+        s.add("4", 1.0)
+        assert fig.series_named("megatron") is s
+
+    def test_labels_ordered_by_insertion(self):
+        fig = Figure("fig")
+        fig.series_named("a").add("x", 1)
+        fig.series_named("b").add("y", 2)
+        fig.series_named("a").add("z", 3)
+        assert fig.labels() == ["x", "z", "y"]
+
+    def test_normalized_to_baseline(self):
+        fig = Figure("throughput")
+        fig.series_named("megatron").add("4", 2.0)
+        fig.series_named("primepar").add("4", 3.0)
+        norm = fig.normalized_to("megatron")
+        assert norm.series_named("primepar").values["4"] == 1.5
+        assert norm.series_named("megatron").values["4"] == 1.0
+
+    def test_render_missing_cells(self):
+        fig = Figure("fig")
+        fig.series_named("a").add("x", 1.0)
+        fig.series_named("b").add("y", 2.0)
+        text = fig.render()
+        assert "-" in text
+        assert "1.000" in text

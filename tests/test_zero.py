@@ -1,0 +1,66 @@
+"""ZeRO optimizer-state sharding accounting."""
+
+import pytest
+
+from repro.baselines.zero import (
+    OPTIMIZER_BYTES,
+    ZeroReport,
+    ZeroStage,
+    zero_report,
+)
+from repro.cluster.topology import v100_cluster
+
+
+class TestZeroMemory:
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return v100_cluster(8)
+
+    def test_stage_progression_shrinks_state(self, topo, small_block):
+        reports = [
+            zero_report(small_block, topo, dp_degree=8, stage=stage)
+            for stage in ZeroStage
+        ]
+        states = [r.state_bytes for r in reports]
+        assert states[0] > states[1] > states[2] > states[3]
+
+    def test_stage1_shards_only_optimizer(self, topo, small_block):
+        none = zero_report(small_block, topo, 8, ZeroStage.NONE)
+        one = zero_report(small_block, topo, 8, ZeroStage.OPTIMIZER)
+        assert one.parameter_bytes == none.parameter_bytes
+        assert one.gradient_bytes == none.gradient_bytes
+        assert one.optimizer_bytes == pytest.approx(none.optimizer_bytes / 8)
+
+    def test_stage3_shards_everything(self, topo, small_block):
+        none = zero_report(small_block, topo, 8, ZeroStage.NONE)
+        three = zero_report(small_block, topo, 8, ZeroStage.PARAMETERS)
+        assert three.parameter_bytes == pytest.approx(none.parameter_bytes / 8)
+        assert three.gradient_bytes == pytest.approx(none.gradient_bytes / 8)
+
+    def test_optimizer_state_dominates_unsharded(self, topo, small_block):
+        none = zero_report(small_block, topo, 8, ZeroStage.NONE)
+        assert none.optimizer_bytes == pytest.approx(
+            none.parameter_bytes / 2 * OPTIMIZER_BYTES
+        )
+
+    def test_single_replica_no_collectives(self, topo, small_block):
+        report = zero_report(small_block, topo, 1, ZeroStage.PARAMETERS)
+        assert report.collective_latency == 0.0
+
+    def test_stage2_halves_gradient_traffic(self, topo, small_block):
+        one = zero_report(small_block, topo, 8, ZeroStage.OPTIMIZER)
+        two = zero_report(small_block, topo, 8, ZeroStage.GRADIENTS)
+        assert two.collective_latency == pytest.approx(
+            one.collective_latency / 2
+        )
+
+    def test_stage3_pays_allgather(self, topo, small_block):
+        """ZeRO-3's memory win costs extra collectives (paper Sec. 8)."""
+        two = zero_report(small_block, topo, 8, ZeroStage.GRADIENTS)
+        three = zero_report(small_block, topo, 8, ZeroStage.PARAMETERS)
+        assert three.collective_latency > two.collective_latency
+
+    def test_layers_scale_state(self, topo, small_block):
+        one = zero_report(small_block, topo, 8, ZeroStage.NONE, n_layers=1)
+        four = zero_report(small_block, topo, 8, ZeroStage.NONE, n_layers=4)
+        assert four.state_bytes == pytest.approx(4 * one.state_bytes)
