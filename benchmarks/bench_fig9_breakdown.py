@@ -11,6 +11,7 @@ from __future__ import annotations
 from conftest import ALPHA, emit
 
 from repro import (
+    EventDrivenSimulator,
     FabricProfiler,
     PrimeParOptimizer,
     TrainingSimulator,
@@ -42,11 +43,13 @@ def _run_case(n_devices, batch):
     megatron = best_megatron_plan(simulator, graph, batch)
     primepar = PrimeParOptimizer(profiler, alpha=ALPHA).optimize(graph)
     pp_report = simulator.run(graph, primepar.plan, batch)
+    pp_event = EventDrivenSimulator(profiler).run(graph, primepar.plan, batch)
     return {
         "megatron": megatron,
         "primepar_plan": primepar.plan,
         "megatron_report": megatron.report,
         "primepar_report": pp_report,
+        "primepar_event": pp_event,
     }
 
 
@@ -82,11 +85,15 @@ def test_fig9_breakdown(benchmark):
             f"  {name.split('.')[-1]}.P = {spec}"
             for name, spec in case["primepar_plan"].items()
         )
+        event = case["primepar_event"]
         sections.append(
             f"--- {n_devices} GPUs, batch {batch} ---\n"
             f"Megatron best (d={case['megatron'].dp_degree}, "
             f"m={case['megatron'].mp_degree})\n"
             f"PrimePar partition sequences:\n{plans}\n"
+            f"Event-driven cross-check: analytic {pp.latency * 1e3:.2f} ms, "
+            f"event {event.latency * 1e3:.2f} ms "
+            f"({event.latency / pp.latency:.3f}x; excess = link contention)\n"
             f"PrimePar timeline (one device, SPMD):\n"
             + _render_timeline(pp)
         )
@@ -117,3 +124,9 @@ def test_fig9_breakdown(benchmark):
         assert pp.collective_latency < meg.collective_latency
         # The searched plan uses the temporal primitive on the MLP linears.
         assert any(s.has_temporal for s in case["primepar_plan"].values())
+        # The discrete-event replay never beats the analytic bound (its
+        # fluid link model only *adds* contention) and stays in the same
+        # regime — excess is genuine NIC sharing, not a modelling bug.
+        event = case["primepar_event"]
+        assert event.latency >= pp.latency * (1 - 1e-9)
+        assert event.latency <= pp.latency * 3.0

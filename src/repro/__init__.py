@@ -38,6 +38,7 @@ from .graph.models import BENCHMARK_MODELS, MODELS_BY_KEY, ModelConfig
 from .graph.transformer import BlockShape, build_block_graph, build_mlp_graph
 from .parallel3d.planner import Config3D, Planner3D, enumerate_configs
 from .runtime.verify import VerificationReport, verify_spec
+from .sim.engine import EventDrivenSimulator
 from .sim.executor import IterationReport, TrainingSimulator
 
 __version__ = "1.0.0"
@@ -49,6 +50,7 @@ __all__ = [
     "Config3D",
     "Dim",
     "DimPartition",
+    "EventDrivenSimulator",
     "FabricProfiler",
     "IterationReport",
     "MODELS_BY_KEY",

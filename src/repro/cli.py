@@ -2,10 +2,11 @@
 
 Installed as the ``primepar`` console script::
 
-    primepar search  --model opt-175b --devices 16 --batch 16
-    primepar verify  --spec N-P2x2 --bits 3
-    primepar compare --model bloom-176b --devices 16 --batch 16
-    primepar sweep3d --model llama2-70b --devices 32 --batch 32
+    primepar search   --model opt-175b --devices 16 --batch 16
+    primepar verify   --spec N-P2x2 --bits 3
+    primepar compare  --model bloom-176b --devices 16 --batch 16
+    primepar sweep3d  --model llama2-70b --devices 32 --batch 32
+    primepar simulate --model opt-6.7b --devices 8 --engine event --trace out.json
 """
 
 from __future__ import annotations
@@ -15,6 +16,7 @@ import sys
 from typing import List, Optional
 
 from . import (
+    EventDrivenSimulator,
     FabricProfiler,
     PartitionSpec,
     Planner3D,
@@ -133,6 +135,44 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_simulate(args) -> int:
+    model, batch, profiler, graph = _setting(args)
+    if args.plan == "megatron":
+        plan = best_megatron_plan(
+            TrainingSimulator(profiler), graph, batch, model.n_layers
+        ).plan
+    else:
+        plan = PrimeParOptimizer(
+            profiler, alpha=args.alpha, beam=args.beam or None
+        ).optimize(graph, n_layers=model.n_layers).plan
+    if args.engine == "event":
+        simulator = EventDrivenSimulator(profiler)
+    else:
+        simulator = TrainingSimulator(profiler)
+    n_layers = args.layers or model.n_layers
+    report = simulator.run_model(graph, plan, batch, n_layers)
+    print(
+        f"{args.engine} engine: {model.name}, {args.devices} devices, "
+        f"batch {batch}, {n_layers} layers"
+    )
+    print(
+        f"iteration latency {report.latency * 1e3:.3f} ms, "
+        f"{report.throughput:.2f} samples/s, "
+        f"{report.peak_memory_bytes / 2**30:.2f} GiB/device"
+    )
+    rows = [
+        [kind, f"{seconds * 1e3:.3f}"]
+        for kind, seconds in sorted(report.breakdown.items())
+    ]
+    print(format_table(["kernel kind", "total ms"], rows))
+    if args.trace:
+        from .sim.trace import write_trace
+
+        write_trace(args.trace, report.timeline, profiler.topology)
+        print(f"trace written to {args.trace}")
+    return 0
+
+
 def cmd_sweep3d(args) -> int:
     model = MODELS_BY_KEY[args.model]
     batch = args.batch or args.devices
@@ -193,6 +233,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(sweep)
     sweep.add_argument("--microbatch", type=int, default=4)
     sweep.set_defaults(func=cmd_sweep3d)
+
+    simulate = sub.add_parser(
+        "simulate", help="replay a plan on the analytic or event-driven engine"
+    )
+    _add_common(simulate)
+    simulate.add_argument(
+        "--plan", choices=("primepar", "megatron"), default="primepar",
+        help="partition plan to replay (default: primepar's search result)",
+    )
+    simulate.add_argument(
+        "--engine", choices=("analytic", "event"), default="event",
+        help="analytic fast path or discrete-event replay (default: event)",
+    )
+    simulate.add_argument(
+        "--layers", type=int, default=0,
+        help="layers to simulate (default: the model's full depth)",
+    )
+    simulate.add_argument(
+        "--trace", default="",
+        help="write a Chrome/Perfetto trace JSON of the timeline here",
+    )
+    simulate.set_defaults(func=cmd_simulate)
     return parser
 
 

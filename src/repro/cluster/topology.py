@@ -20,6 +20,28 @@ from .links import INFINIBAND_100G, LinkSpec, NVLINK_V100, TORUS_ICI
 
 
 @dataclass(frozen=True)
+class PathResources:
+    """Schedulable fabric resources along one point-to-point path.
+
+    A discrete-event engine materialises one shared resource per ``shared``
+    entry (key, aggregate capacity in bytes/s); concurrent transfers whose
+    paths name the same key divide that capacity.  A single stream never
+    exceeds ``stream_bandwidth`` (the per-stream link rate) and always pays
+    ``latency`` once per message.  An empty ``shared`` tuple means the path
+    is dedicated (intra-node NVLink, torus neighbour links).
+
+    Attributes:
+        shared: ``(resource key, capacity)`` pairs, e.g. a node's NIC pool.
+        stream_bandwidth: Per-stream bandwidth ceiling, bytes/s.
+        latency: Per-message latency, seconds.
+    """
+
+    shared: Tuple[Tuple[str, float], ...]
+    stream_bandwidth: float
+    latency: float
+
+
+@dataclass(frozen=True)
 class ClusterTopology:
     """A cluster of ``2**n_bits`` homogeneous devices.
 
@@ -106,6 +128,34 @@ class ClusterTopology:
     def transfer_time(self, rank_a: int, rank_b: int, n_bytes: float) -> float:
         """Uncongested point-to-point transfer time."""
         return self.link_between(rank_a, rank_b).transfer_time(n_bytes)
+
+    # ------------------------------------------------------------------
+    # schedulable resources (discrete-event simulation)
+    # ------------------------------------------------------------------
+
+    def path_resources(self, rank_a: int, rank_b: int) -> PathResources:
+        """The fabric resources a ``rank_a -> rank_b`` stream occupies.
+
+        Cross-node streams pass through both endpoints' NIC pools (capacity
+        ``nics_per_node * inter_link.bandwidth`` each) — concurrent streams
+        touching a node, in either direction, share that pool.  Intra-node
+        and torus-neighbour paths are dedicated point-to-point links, the
+        same assumption the analytic model makes.
+        """
+        link = self.link_between(rank_a, rank_b)
+        if not self.torus and not self.same_node(rank_a, rank_b):
+            capacity = self.inter_link.bandwidth * self.nics_per_node
+            shared = (
+                (f"nic:node{self.node_of(rank_a)}", capacity),
+                (f"nic:node{self.node_of(rank_b)}", capacity),
+            )
+        else:
+            shared = ()
+        return PathResources(
+            shared=shared,
+            stream_bandwidth=link.bandwidth,
+            latency=link.latency,
+        )
 
 
 def v100_cluster(n_devices: int, gpus_per_node: int = 4) -> ClusterTopology:

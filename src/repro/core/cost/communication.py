@@ -125,21 +125,42 @@ class CommunicationCostModel:
         _RING_CACHE[key] = schedule
         return schedule
 
-    def ring_step_latency(
-        self, op: OperatorSpec, spec: PartitionSpec, phase: Phase, step: int
-    ) -> float:
-        """``ring(n, P, t)``: point-to-point traffic overlapping step ``t``."""
+    def ring_phase_transfers(
+        self, op: OperatorSpec, spec: PartitionSpec, phase: Phase
+    ) -> Dict[int, List[Tuple[str, int, int, float]]]:
+        """Sized ring transfers per overlapped step of one phase.
+
+        Returns ``step -> [(tensor name, src rank, dst rank, bytes)]`` — the
+        concrete point-to-point sends a discrete-event engine places onto
+        fabric link resources.  Empty for purely spatial specs.
+        """
         if not spec.has_temporal:
-            return 0.0
+            return {}
         signature = op.signatures()[phase]
         sizes = {
             tensor.name: block_bytes(op, spec, tensor.dims)
             for tensor in signature.tensors
         }
         schedule = self._ring_schedule(op, spec, phase)
+        return {
+            step: [
+                (tensor, src, dst, sizes[tensor])
+                for tensor, src, dst in entries
+            ]
+            for step, entries in schedule.items()
+            if entries
+        }
+
+    def ring_step_latency(
+        self, op: OperatorSpec, spec: PartitionSpec, phase: Phase, step: int
+    ) -> float:
+        """``ring(n, P, t)``: point-to-point traffic overlapping step ``t``."""
+        if not spec.has_temporal:
+            return 0.0
+        schedule = self.ring_phase_transfers(op, spec, phase)
         transfers = [
-            Transfer(src=src, dst=dst, n_bytes=sizes[tensor])
-            for tensor, src, dst in schedule.get(step, [])
+            Transfer(src=src, dst=dst, n_bytes=n_bytes)
+            for _, src, dst, n_bytes in schedule.get(step, [])
         ]
         return concurrent_step_time(self.topology, transfers)
 

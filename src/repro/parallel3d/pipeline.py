@@ -11,8 +11,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ..cluster.links import LinkSpec
+from ..sim.timeline import Timeline
 
 
 class PipelineSchedule(enum.Enum):
@@ -59,12 +61,18 @@ class PipelinePlan:
 
 @dataclass(frozen=True)
 class PipelineReport:
-    """Latency accounting of one pipelined training iteration."""
+    """Latency accounting of one pipelined training iteration.
+
+    ``timeline`` is populated by the event-driven path
+    (:func:`pipeline_iteration_events`) with one track per stage; the
+    closed-form path leaves it ``None``.
+    """
 
     iteration_latency: float
     bubble_latency: float
     communication_latency: float
     stage_latency: float
+    timeline: Optional[Timeline] = None
 
     @property
     def bubble_fraction(self) -> float:
@@ -107,4 +115,101 @@ def pipeline_iteration(
         bubble_latency=bubble,
         communication_latency=exposed_comm,
         stage_latency=slot,
+    )
+
+
+def _stage_order(
+    plan: PipelinePlan, stage: int
+) -> List[Tuple[str, int]]:
+    """Per-stage stream submission order as ``(phase, microbatch)`` pairs.
+
+    GPipe runs every forward, then every backward.  1F1B warms up with
+    ``min(m, p - 1 - s)`` forwards, alternates one-forward-one-backward in
+    steady state, and drains the remaining backwards (PipeDream-Flush).
+    """
+    p, m = plan.n_stages, plan.n_microbatches
+    if plan.schedule is PipelineSchedule.GPIPE:
+        return [("F", i) for i in range(m)] + [("B", i) for i in range(m)]
+    warmup = min(m, p - 1 - stage)
+    order = [("F", i) for i in range(warmup)]
+    next_f, next_b = warmup, 0
+    while next_f < m:
+        order.append(("F", next_f))
+        order.append(("B", next_b))
+        next_f += 1
+        next_b += 1
+    order.extend(("B", i) for i in range(next_b, m))
+    return order
+
+
+def pipeline_iteration_events(
+    plan: PipelinePlan,
+    stage_forward: float,
+    stage_backward: float,
+    boundary_bytes: float,
+    link: LinkSpec,
+) -> PipelineReport:
+    """Event-driven replay of a pipeline schedule on the simulation engine.
+
+    Builds the schedule's kernel DAG — forward/backward micro-batch kernels
+    on one stream per stage, activation/gradient sends between neighbouring
+    stages — and measures the iteration latency as the DAG's makespan
+    instead of trusting the closed form.  For uniform stage times both
+    schedules reproduce ``(m + p - 1)(t_f + t_b) + 2 (p - 1) hop`` exactly;
+    the event path additionally yields a per-stage :class:`Timeline`.
+    """
+    from ..sim.engine import KernelGraph  # local: keep import DAG shallow
+
+    p, m = plan.n_stages, plan.n_microbatches
+    hop = link.transfer_time(boundary_bytes) if p > 1 else 0.0
+    kg = KernelGraph()
+    streams = [kg.stream(f"stage{s}") for s in range(p)]
+    work: Dict[Tuple[str, int, int], object] = {}
+    # Pass 1: enqueue stage kernels in schedule order (stream order is
+    # submission order, so this pins each stage's execution sequence).
+    for s in range(p):
+        for phase, i in _stage_order(plan, s):
+            duration = stage_forward if phase == "F" else stage_backward
+            work[(phase, s, i)] = kg.add(
+                f"{phase}{i}@stage{s}",
+                streams=[streams[s]],
+                duration=duration,
+                kind="forward" if phase == "F" else "backward",
+                op=f"mb{i}",
+                phase=phase,
+                device=s,
+            )
+    # Pass 2: boundary sends and cross-stage dependencies (created after
+    # pass 1 because a backward depends on the *next* stage's kernel).
+    for s in range(p - 1):
+        for i in range(m):
+            fsend = kg.add(
+                f"fsend{i}@stage{s}",
+                deps=[work[("F", s, i)]],
+                duration=hop,
+                kind="pipe-send",
+                op=f"mb{i}",
+                phase="F",
+                device=s,
+            )
+            work[("F", s + 1, i)].add_dep(fsend)
+            bsend = kg.add(
+                f"bsend{i}@stage{s + 1}",
+                deps=[work[("B", s + 1, i)]],
+                duration=hop,
+                kind="pipe-send",
+                op=f"mb{i}",
+                phase="B",
+                device=s + 1,
+            )
+            work[("B", s, i)].add_dep(bsend)
+    makespan = kg.execute()
+    slot = stage_forward + stage_backward
+    exposed_comm = 2 * (p - 1) * hop
+    return PipelineReport(
+        iteration_latency=makespan,
+        bubble_latency=makespan - m * slot - exposed_comm,
+        communication_latency=exposed_comm,
+        stage_latency=slot,
+        timeline=kg.timeline(),
     )

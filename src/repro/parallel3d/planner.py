@@ -23,7 +23,12 @@ from ..graph.models import ModelConfig
 from ..graph.tensors import DTYPE_BYTES
 from ..graph.transformer import build_block_graph
 from ..sim.executor import TrainingSimulator
-from .pipeline import PipelinePlan, PipelineReport, pipeline_iteration
+from .pipeline import (
+    PipelinePlan,
+    PipelineReport,
+    pipeline_iteration,
+    pipeline_iteration_events,
+)
 
 
 @dataclass(frozen=True)
@@ -81,6 +86,10 @@ class Planner3D:
         global_batch: Sequences per training iteration.
         microbatch: Sequences per micro-batch within the pipeline.
         alpha: Memory weight passed to PrimePar's search.
+        pipeline_engine: ``"analytic"`` prices the pipeline schedule in
+            closed form; ``"event"`` replays it on the discrete-event
+            engine (exposes send stalls inside 1F1B's steady state and
+            yields a per-stage timeline).
     """
 
     def __init__(
@@ -90,12 +99,16 @@ class Planner3D:
         global_batch: int = 32,
         microbatch: int = 0,
         alpha: float = 0.0,
+        pipeline_engine: str = "analytic",
     ) -> None:
+        if pipeline_engine not in ("analytic", "event"):
+            raise ValueError(f"unknown pipeline engine {pipeline_engine!r}")
         self.model = model
         self.n_devices = n_devices
         self.global_batch = global_batch
         self.microbatch = microbatch
         self.alpha = alpha
+        self.pipeline_engine = pipeline_engine
         self._plan_cache: Dict[Tuple[str, int, int], Tuple] = {}
 
     # ------------------------------------------------------------------
@@ -185,7 +198,12 @@ class Planner3D:
             shape.batch * shape.seq * shape.hidden * DTYPE_BYTES / m
         )
         cluster = v100_cluster(self.n_devices)
-        pipe = pipeline_iteration(
+        iterate = (
+            pipeline_iteration_events
+            if self.pipeline_engine == "event"
+            else pipeline_iteration
+        )
+        pipe = iterate(
             PipelinePlan(n_stages=p, n_microbatches=n_micro),
             forward,
             backward,

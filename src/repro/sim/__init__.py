@@ -1,1 +1,32 @@
-"""Execution simulation: kernel timelines, iteration reports, memory playback."""
+"""Execution simulation: kernel timelines, iteration reports, memory playback.
+
+Two engines produce :class:`~repro.sim.executor.IterationReport`:
+
+* :class:`~repro.sim.executor.TrainingSimulator` — the analytic fast path
+  (closed-form kernel costs on a serial SPMD stream);
+* :class:`~repro.sim.engine.EventDrivenSimulator` — a discrete-event replay
+  with per-device streams and fabric-link contention, exportable as a
+  Chrome trace via :mod:`repro.sim.trace`.
+"""
+
+from .engine import (
+    EventDrivenSimulator,
+    KernelGraph,
+    SimKernel,
+    SimulationEngine,
+    StreamResource,
+)
+from .executor import IterationReport, TrainingSimulator
+from .timeline import KernelRecord, Timeline
+
+__all__ = [
+    "EventDrivenSimulator",
+    "IterationReport",
+    "KernelGraph",
+    "KernelRecord",
+    "SimKernel",
+    "SimulationEngine",
+    "StreamResource",
+    "Timeline",
+    "TrainingSimulator",
+]

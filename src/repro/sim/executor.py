@@ -11,7 +11,7 @@ throughput, latency breakdown (Fig. 2a / Fig. 9) and per-device peak memory
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Mapping, Optional
 
 from ..cluster.profiler import FabricProfiler
@@ -25,6 +25,28 @@ from ..graph.graph import ComputationGraph
 from .timeline import Timeline
 
 
+def samples_per_second(global_batch: int, latency: float) -> float:
+    """Training throughput with a single guard against zero latency."""
+    return global_batch / latency if latency > 0 else float("inf")
+
+
+def replicate_timeline(timeline: Timeline, n_layers: int) -> Timeline:
+    """Time-shifted copies of a one-layer timeline, one per layer.
+
+    Transformer blocks repeat the same SPMD schedule per layer, so the
+    whole-model timeline is the single-layer one tiled along the clock.
+    """
+    if n_layers <= 1:
+        return timeline
+    span = timeline.clock
+    records = [
+        replace(record, start=record.start + layer * span)
+        for layer in range(n_layers)
+        for record in timeline.records
+    ]
+    return Timeline(records=records, clock=span * n_layers)
+
+
 @dataclass
 class IterationReport:
     """Simulated outcome of one training iteration.
@@ -34,7 +56,10 @@ class IterationReport:
         throughput: Training throughput, samples/second.
         peak_memory_bytes: Per-device peak memory (paper's memory model).
         breakdown: Visible time per kernel kind plus overlapped-ring total.
-        timeline: Full kernel schedule (Fig. 9's timelines).
+        timeline: Full kernel schedule (Fig. 9's timelines).  Covers all
+            ``layers_scaled`` layers — whole-model reports tile the
+            single-layer schedule per layer.
+        layers_scaled: Number of identical layers this report covers.
     """
 
     latency: float
@@ -42,12 +67,34 @@ class IterationReport:
     peak_memory_bytes: float
     breakdown: Dict[str, float]
     timeline: Timeline
+    layers_scaled: int = 1
 
     @property
     def collective_latency(self) -> float:
         """All data-dependent communication (all-reduce + redistribution)."""
         return self.breakdown.get("allreduce", 0.0) + self.breakdown.get(
             "redistribute", 0.0
+        )
+
+    def scaled_to_layers(self, n_layers: int, global_batch: int) -> "IterationReport":
+        """Extrapolate a single-layer report to ``n_layers`` identical layers.
+
+        Latency, breakdown and per-device memory scale linearly (the SPMD
+        plan repeats per layer); the timeline is tiled so downstream
+        consumers (Fig. 9 renderers, trace export) see the full iteration.
+        """
+        if self.layers_scaled != 1:
+            raise ValueError("report already covers multiple layers")
+        if n_layers <= 1:
+            return self
+        latency = self.latency * n_layers
+        return IterationReport(
+            latency=latency,
+            throughput=samples_per_second(global_batch, latency),
+            peak_memory_bytes=self.peak_memory_bytes * n_layers,
+            breakdown={k: v * n_layers for k, v in self.breakdown.items()},
+            timeline=replicate_timeline(self.timeline, n_layers),
+            layers_scaled=n_layers,
         )
 
 
@@ -117,7 +164,7 @@ class TrainingSimulator:
         latency = timeline.clock
         return IterationReport(
             latency=latency,
-            throughput=global_batch / latency if latency > 0 else float("inf"),
+            throughput=samples_per_second(global_batch, latency),
             peak_memory_bytes=peak,
             breakdown=breakdown,
             timeline=timeline,
@@ -150,14 +197,7 @@ class TrainingSimulator:
 
         Transformer models stack identical blocks, so latency, breakdown
         and memory scale linearly in the layer count (the SPMD plan
-        repeats per layer).
+        repeats per layer); the timeline is tiled to cover every layer.
         """
         single = self.run(graph, plan, global_batch)
-        latency = single.latency * n_layers
-        return IterationReport(
-            latency=latency,
-            throughput=global_batch / latency if latency > 0 else float("inf"),
-            peak_memory_bytes=single.peak_memory_bytes * n_layers,
-            breakdown={k: v * n_layers for k, v in single.breakdown.items()},
-            timeline=single.timeline,
-        )
+        return single.scaled_to_layers(n_layers, global_batch)

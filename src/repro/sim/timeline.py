@@ -18,6 +18,9 @@ class KernelRecord:
         duration: Kernel latency, seconds.
         overlapped: Whether the kernel runs concurrently with compute
             (ring communication under double buffering).
+        device: Device rank the kernel executes on (0 for the serial SPMD
+            stream of the analytic simulator; per-rank in event-driven
+            timelines).
     """
 
     op: str
@@ -26,6 +29,7 @@ class KernelRecord:
     start: float
     duration: float
     overlapped: bool = False
+    device: int = 0
 
     @property
     def end(self) -> float:

@@ -1,0 +1,105 @@
+"""Chrome/Perfetto trace export of simulated kernel timelines.
+
+Converts a :class:`~repro.sim.timeline.Timeline` (analytic or event-driven)
+into the Chrome trace-event JSON format, loadable in ``chrome://tracing`` or
+https://ui.perfetto.dev.  Each device gets two tracks: a compute track for
+stream kernels (compute, all-reduce, redistribution, pipeline stages) and a
+communication track for overlapped ring transfers, so the overlap the
+temporal primitive buys is visible as parallel slices.
+
+Layout:
+
+* ``pid`` — the node housing the device (all devices when no topology is
+  given share pid 0);
+* ``tid`` — ``2 * device`` for the compute track, ``2 * device + 1`` for
+  the overlapped-communication track;
+* ``ts``/``dur`` — microseconds (trace-event convention; the simulator's
+  clock is seconds).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from ..cluster.topology import ClusterTopology
+from .timeline import Timeline
+
+#: Seconds -> trace-event microseconds.
+_US = 1e6
+
+
+def _track_of(device: int, overlapped: bool) -> int:
+    return 2 * device + (1 if overlapped else 0)
+
+
+def timeline_to_trace(
+    timeline: Timeline, topology: Optional[ClusterTopology] = None
+) -> Dict[str, object]:
+    """A Chrome trace-event document for ``timeline``.
+
+    Returns the ``{"traceEvents": [...]}`` object form with process/thread
+    name metadata plus one complete (``ph="X"``) event per kernel record.
+    """
+    events: List[Dict[str, object]] = []
+    seen_tracks: Dict[int, int] = {}  # tid -> device
+    for record in timeline.records:
+        if record.duration <= 0:
+            continue
+        tid = _track_of(record.device, record.overlapped)
+        seen_tracks.setdefault(tid, record.device)
+        pid = topology.node_of(record.device) if topology is not None else 0
+        events.append(
+            {
+                "name": f"{record.op}.{record.phase}.{record.kind}",
+                "cat": record.kind,
+                "ph": "X",
+                "ts": record.start * _US,
+                "dur": record.duration * _US,
+                "pid": pid,
+                "tid": tid,
+                "args": {
+                    "op": record.op,
+                    "phase": record.phase,
+                    "kind": record.kind,
+                    "overlapped": record.overlapped,
+                },
+            }
+        )
+    metadata: List[Dict[str, object]] = []
+    pids = sorted({e["pid"] for e in events})
+    for pid in pids:
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"node{pid}"},
+            }
+        )
+    for tid, device in sorted(seen_tracks.items()):
+        pid = topology.node_of(device) if topology is not None else 0
+        kind = "compute" if tid % 2 == 0 else "comm"
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": f"dev{device} {kind}"},
+            }
+        )
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": timeline.clock * _US},
+    }
+
+
+def write_trace(
+    path: str, timeline: Timeline, topology: Optional[ClusterTopology] = None
+) -> None:
+    """Serialise ``timeline`` as Chrome trace JSON at ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(timeline_to_trace(timeline, topology), fh, indent=1)

@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -26,6 +28,16 @@ class TestParser:
     def test_unknown_model_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["search", "--model", "gpt-5"])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.engine == "event"
+        assert args.plan == "primepar"
+        assert args.trace == ""
+
+    def test_simulate_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--engine", "psychic"])
 
 
 class TestCommands:
@@ -66,3 +78,31 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "megatron" in out and "primepar" in out
+
+    def test_simulate_event_with_trace(self, capsys, tmp_path):
+        trace_path = tmp_path / "out.json"
+        code = main(
+            [
+                "simulate", "--model", "opt-6.7b", "--devices", "4",
+                "--batch", "8", "--layers", "2", "--trace", str(trace_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "event engine" in out
+        assert "iteration latency" in out
+        doc = json.loads(trace_path.read_text())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert events and all(e["dur"] > 0 for e in events)
+
+    def test_simulate_analytic_megatron(self, capsys):
+        code = main(
+            [
+                "simulate", "--model", "opt-6.7b", "--devices", "4",
+                "--batch", "8", "--layers", "1", "--engine", "analytic",
+                "--plan", "megatron",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "analytic engine" in out
