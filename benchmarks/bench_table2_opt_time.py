@@ -1,17 +1,19 @@
 """Table 2 — optimization time of the segmented dynamic programming.
 
 Search time (ms) for the OPT, Llama2 and BLOOM model structures at
-parallelism sizes 4, 8, 16 and 32 (single thread).  Absolute numbers differ
-from the paper's C-backed implementation; the shape — near-flat up to 16
-devices, a superlinear jump at 32 as the operator partition space grows to
-~1300 sequences — is the reproduced observation.
+parallelism sizes 4, 8, 16 and 32 (single thread by default; set
+``REPRO_BENCH_JOBS`` to fan the candidate builds out over processes — the
+plans are bit-identical either way).  Absolute numbers differ from the
+paper's C-backed implementation; the shape — near-flat up to 16 devices, a
+superlinear jump at 32 as the operator partition space grows to ~1300
+sequences — is the reproduced observation.
 """
 
 from __future__ import annotations
 
 import time
 
-from conftest import beam_for, emit
+from conftest import beam_for, emit, jobs_for
 
 from repro import FabricProfiler, PrimeParOptimizer, build_block_graph, v100_cluster
 from repro.graph.models import BLOOM_176B, LLAMA2_70B, OPT_175B
@@ -35,7 +37,7 @@ def _measure():
                 model.block_shape(batch=max(8, n_devices))
             )
             optimizer = PrimeParOptimizer(
-                profiler, beam=beam_for(n_devices)
+                profiler, beam=beam_for(n_devices), jobs=jobs_for()
             )
             started = time.perf_counter()
             optimizer.optimize(graph, n_layers=model.n_layers)

@@ -10,6 +10,8 @@ Environment knobs:
 * ``REPRO_BENCH_SCALES`` — comma-separated GPU counts (default ``4,8,16,32``).
 * ``REPRO_BENCH_BEAM32`` — beam width for 32-GPU searches (default 48;
   smaller is faster, exact search is ``0``/unset-able via ``-1``).
+* ``REPRO_BENCH_JOBS`` — worker processes for the searches (default 1 =
+  serial; 0 = all cores).
 """
 
 from __future__ import annotations
@@ -47,6 +49,11 @@ def beam_for(n_devices: int) -> Optional[int]:
         return None
     raw = int(os.environ.get("REPRO_BENCH_BEAM32", "48"))
     return None if raw < 0 else raw
+
+
+def jobs_for() -> int:
+    """Search process-pool width (``REPRO_BENCH_JOBS``, default serial)."""
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 def emit(name: str, text: str) -> None:

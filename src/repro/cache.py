@@ -1,0 +1,202 @@
+"""Persistent on-disk cache for expensive search artefacts.
+
+Repeated benchmark and CLI invocations redo identical work: candidate-set
+enumeration + intra costing per operator type, and the profiler's
+least-squares model fits.  Both are pure functions of their inputs, so the
+results are stored on disk keyed by a content hash of everything that can
+influence them (model shape, topology, alpha, beam, schema version, ...).
+
+Keys are built by :func:`content_key` from a *canonical* byte encoding of
+plain Python values (numbers, strings, tuples, dicts, enums, dataclasses) —
+anything unstable (object identities, unsorted sets) is rejected rather
+than silently hashed.  Values are pickled together with
+:data:`CACHE_VERSION`; entries written by an older schema, or corrupted on
+disk, are deleted and recomputed with a logged warning — they never crash a
+search.
+
+Environment knobs:
+
+* ``PRIMEPAR_CACHE_DIR`` — cache directory (default
+  ``$XDG_CACHE_HOME/primepar`` or ``~/.cache/primepar``).
+* ``PRIMEPAR_CACHE`` — set to ``0``/``off``/``false`` to disable entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import logging
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+logger = logging.getLogger(__name__)
+
+#: Bump whenever the content of any cached artefact changes meaning
+#: (cost-model changes, CandidateSet layout changes, ...).  Old entries are
+#: detected on load, deleted and recomputed.
+CACHE_VERSION = 1
+
+_ENV_DIR = "PRIMEPAR_CACHE_DIR"
+_ENV_SWITCH = "PRIMEPAR_CACHE"
+_OFF_VALUES = {"0", "off", "false", "no"}
+
+
+def cache_enabled() -> bool:
+    """Whether the persistent cache is active (``PRIMEPAR_CACHE`` switch)."""
+    return os.environ.get(_ENV_SWITCH, "1").strip().lower() not in _OFF_VALUES
+
+
+def cache_dir() -> Path:
+    """The cache directory (not created until first :func:`store`)."""
+    override = os.environ.get(_ENV_DIR, "").strip()
+    if override:
+        return Path(override).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME", "").strip()
+    root = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return root / "primepar"
+
+
+def _canonical(value: Any, out: list) -> None:
+    """Append an injective byte encoding of ``value`` to ``out``.
+
+    Containers are tagged and length-prefixed so distinct structures never
+    collide; dict items are sorted by their encoded keys for order
+    independence.  Unsupported types raise ``TypeError`` — callers treat
+    that as "not cacheable", never as a silent unstable hash.
+    """
+    if value is None or isinstance(value, (bool, int, float, complex)):
+        out.append(f"{type(value).__name__}:{value!r};".encode())
+    elif isinstance(value, str):
+        out.append(b"s%d:" % len(value.encode()) + value.encode())
+    elif isinstance(value, bytes):
+        out.append(b"b%d:" % len(value) + value)
+    elif isinstance(value, enum.Enum):
+        _canonical((type(value).__qualname__, value.value), out)
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out.append(f"d:{type(value).__qualname__}(".encode())
+        for field in dataclasses.fields(value):
+            _canonical(field.name, out)
+            _canonical(getattr(value, field.name), out)
+        out.append(b")")
+    elif isinstance(value, (tuple, list)):
+        out.append(b"t%d:(" % len(value))
+        for item in value:
+            _canonical(item, out)
+        out.append(b")")
+    elif isinstance(value, (dict,)):
+        items = []
+        for key, item in value.items():
+            encoded: list = []
+            _canonical(key, encoded)
+            _canonical(item, encoded)
+            items.append(b"".join(encoded))
+        out.append(b"m%d:{" % len(items))
+        out.extend(sorted(items))
+        out.append(b"}")
+    elif isinstance(value, (set, frozenset)):
+        items = []
+        for item in value:
+            encoded = []
+            _canonical(item, encoded)
+            items.append(b"".join(encoded))
+        out.append(b"f%d:{" % len(items))
+        out.extend(sorted(items))
+        out.append(b"}")
+    else:
+        raise TypeError(f"value of type {type(value)!r} is not cacheable")
+
+
+def content_key(kind: str, *parts: Any) -> str:
+    """Stable hex digest identifying one cached artefact.
+
+    Raises ``TypeError`` when a part cannot be canonically encoded; callers
+    should then skip the disk cache for that artefact.
+    """
+    encoded: list = []
+    _canonical((CACHE_VERSION, kind) + parts, encoded)
+    return hashlib.sha256(b"".join(encoded)).hexdigest()
+
+
+def _entry_path(kind: str, key: str) -> Path:
+    return cache_dir() / f"{kind}-{key[:40]}.pkl"
+
+
+def _discard(path: Path, reason: str) -> None:
+    logger.warning("primepar cache: discarding %s (%s)", path.name, reason)
+    try:
+        path.unlink()
+    except OSError:
+        pass
+
+
+def load(kind: str, key: str) -> Optional[Any]:
+    """Fetch a cached value, or ``None`` on miss/corruption/schema drift."""
+    if not cache_enabled():
+        return None
+    path = _entry_path(kind, key)
+    try:
+        with open(path, "rb") as handle:
+            entry = pickle.load(handle)
+    except FileNotFoundError:
+        return None
+    except Exception as exc:  # corrupt pickle, truncated file, ...
+        _discard(path, f"corrupt entry: {exc}")
+        return None
+    if not isinstance(entry, dict) or entry.get("version") != CACHE_VERSION:
+        _discard(path, "stale schema version")
+        return None
+    return entry.get("value")
+
+
+def store(kind: str, key: str, value: Any) -> None:
+    """Persist a value atomically (write-to-temp + rename); best effort."""
+    if not cache_enabled():
+        return
+    directory = cache_dir()
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(
+                    {"version": CACHE_VERSION, "value": value},
+                    handle,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            os.replace(tmp_name, _entry_path(kind, key))
+        except BaseException:
+            os.unlink(tmp_name)
+            raise
+    except Exception as exc:  # read-only FS, quota, ... — never fatal
+        logger.warning("primepar cache: failed to store %s entry: %s", kind, exc)
+
+
+def clear() -> int:
+    """Remove every cache entry; returns how many files were deleted."""
+    directory = cache_dir()
+    removed = 0
+    if not directory.is_dir():
+        return removed
+    for path in directory.glob("*.pkl"):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed
+
+
+def entry_count() -> int:
+    directory = cache_dir()
+    return sum(1 for _ in directory.glob("*.pkl")) if directory.is_dir() else 0
+
+
+def total_bytes() -> int:
+    directory = cache_dir()
+    if not directory.is_dir():
+        return 0
+    return sum(path.stat().st_size for path in directory.glob("*.pkl"))

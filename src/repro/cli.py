@@ -53,6 +53,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--beam", type=int, default=0,
         help="beam width for the search (0 = exact)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the search (1 = serial, 0 = all cores)",
+    )
 
 
 def _setting(args):
@@ -70,6 +74,7 @@ def cmd_search(args) -> int:
         alpha=args.alpha,
         include_temporal=not args.no_temporal,
         beam=args.beam or None,
+        jobs=args.jobs,
     )
     result = optimizer.optimize(graph, n_layers=model.n_layers)
     print(f"search: {result.elapsed:.2f}s  layer cost {result.cost:.4f}")
@@ -105,7 +110,7 @@ def cmd_compare(args) -> int:
     alpa = alpa_optimizer(profiler, beam=beam).optimize(graph)
     alpa_report = simulator.run_model(graph, alpa.plan, batch, model.n_layers)
     primepar = PrimeParOptimizer(
-        profiler, alpha=args.alpha, beam=beam
+        profiler, alpha=args.alpha, beam=beam, jobs=args.jobs
     ).optimize(graph)
     pp_report = simulator.run_model(
         graph, primepar.plan, batch, model.n_layers
@@ -143,7 +148,7 @@ def cmd_simulate(args) -> int:
         ).plan
     else:
         plan = PrimeParOptimizer(
-            profiler, alpha=args.alpha, beam=args.beam or None
+            profiler, alpha=args.alpha, beam=args.beam or None, jobs=args.jobs
         ).optimize(graph, n_layers=model.n_layers).plan
     if args.engine == "event":
         simulator = EventDrivenSimulator(profiler)
@@ -173,6 +178,22 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_cache(args) -> int:
+    from . import cache as diskcache
+
+    if args.clear:
+        removed = diskcache.clear()
+        print(f"cleared {removed} cache entries from {diskcache.cache_dir()}")
+        return 0
+    state = "enabled" if diskcache.cache_enabled() else "disabled (PRIMEPAR_CACHE)"
+    print(f"cache directory: {diskcache.cache_dir()}  [{state}]")
+    print(
+        f"entries: {diskcache.entry_count()}, "
+        f"{diskcache.total_bytes() / 2**20:.2f} MiB"
+    )
+    return 0
+
+
 def cmd_sweep3d(args) -> int:
     model = MODELS_BY_KEY[args.model]
     batch = args.batch or args.devices
@@ -182,6 +203,7 @@ def cmd_sweep3d(args) -> int:
         global_batch=batch,
         microbatch=args.microbatch,
         alpha=args.alpha,
+        jobs=args.jobs,
     )
     megatron = {str(r.config): r for r in planner.sweep("megatron")}
     primepar = {str(r.config): r for r in planner.sweep("primepar")}
@@ -255,6 +277,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a Chrome/Perfetto trace JSON of the timeline here",
     )
     simulate.set_defaults(func=cmd_simulate)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent search cache"
+    )
+    cache.add_argument(
+        "--clear", action="store_true", help="delete all cache entries"
+    )
+    cache.set_defaults(func=cmd_cache)
     return parser
 
 

@@ -14,10 +14,11 @@ the cost model independent of the collective implementation details.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import cache as diskcache
 from .collectives import (
     Transfer,
     concurrent_step_time,
@@ -77,11 +78,41 @@ class FabricProfiler:
     ) -> None:
         self.topology = topology
         self.noise = noise
+        self.seed = seed
         self.sizes = tuple(sizes)
         self._rng = np.random.default_rng(seed)
         self._allreduce_models: Dict[Tuple[int, ...], LinearLatencyModel] = {}
         self._ring_models: Dict[Tuple[int, ...], LinearLatencyModel] = {}
         self._redistribution_models: Dict[bool, LinearLatencyModel] = {}
+
+    def _disk_key(self, kind: str, key) -> Optional[str]:
+        """Persistent-cache key for one fitted model, or ``None``.
+
+        Noisy fits depend on the RNG draw *order* (which models were fitted
+        before this one), so only noise-free fits are persisted.
+        """
+        if self.noise != 0.0:
+            return None
+        try:
+            return diskcache.content_key(
+                f"profiler-{kind}", self.topology, self.sizes, key
+            )
+        except TypeError:
+            return None
+
+    def _fit(
+        self, kind: str, key, fn: Callable[[float], float]
+    ) -> LinearLatencyModel:
+        """Fit one model, going through the persistent cache when possible."""
+        disk_key = self._disk_key(kind, key)
+        if disk_key is not None:
+            cached = diskcache.load("profiler", disk_key)
+            if isinstance(cached, LinearLatencyModel):
+                return cached
+        model = self._measure(fn)
+        if disk_key is not None:
+            diskcache.store("profiler", disk_key, model)
+        return model
 
     def _measure(self, fn: Callable[[float], float]) -> LinearLatencyModel:
         latencies = []
@@ -101,8 +132,10 @@ class FabricProfiler:
         key = tuple(sorted(indicator))
         if key not in self._allreduce_models:
             pattern = grouping_pattern(self.topology.n_bits, key)
-            self._allreduce_models[key] = self._measure(
-                lambda size: pattern_allreduce_time(self.topology, pattern, size)
+            self._allreduce_models[key] = self._fit(
+                "allreduce",
+                key,
+                lambda size: pattern_allreduce_time(self.topology, pattern, size),
             )
         return self._allreduce_models[key]
 
@@ -126,7 +159,7 @@ class FabricProfiler:
                             transfers.append(Transfer(src=src, dst=dst, n_bytes=size))
                 return concurrent_step_time(self.topology, transfers)
 
-            self._ring_models[key] = self._measure(measure)
+            self._ring_models[key] = self._fit("ring", key, measure)
         return self._ring_models[key]
 
     def redistribution_model(self, intra_node: bool = False) -> LinearLatencyModel:
@@ -155,5 +188,7 @@ class FabricProfiler:
                 ]
                 return concurrent_step_time(self.topology, transfers)
 
-            self._redistribution_models[key] = self._measure(measure)
+            self._redistribution_models[key] = self._fit(
+                "redistribution", key, measure
+            )
         return self._redistribution_models[key]

@@ -167,8 +167,20 @@ class CommunicationCostModel:
     def ring_phase_latencies(
         self, op: OperatorSpec, spec: PartitionSpec, phase: Phase
     ) -> List[float]:
-        """Ring latency per temporal step of one phase."""
-        return [
-            self.ring_step_latency(op, spec, phase, t)
-            for t in range(spec.total_steps)
-        ]
+        """Ring latency per temporal step of one phase.
+
+        The sized schedule is built once for the phase and priced per step
+        (``ring_step_latency`` rebuilds it per call — fine for single-step
+        queries, wasteful on this whole-phase hot path).
+        """
+        if not spec.has_temporal:
+            return [0.0] * spec.total_steps
+        schedule = self.ring_phase_transfers(op, spec, phase)
+        latencies = []
+        for t in range(spec.total_steps):
+            transfers = [
+                Transfer(src=src, dst=dst, n_bytes=n_bytes)
+                for _, src, dst, n_bytes in schedule.get(t, [])
+            ]
+            latencies.append(concurrent_step_time(self.topology, transfers))
+        return latencies

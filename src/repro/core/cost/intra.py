@@ -10,7 +10,7 @@ coefficient ``alpha``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ...cluster.profiler import FabricProfiler
 from ...graph.operators import OperatorSpec
@@ -92,3 +92,52 @@ class IntraOperatorCostModel:
         )
         self._cache[key] = result
         return result
+
+    def cost_batch(
+        self, op: OperatorSpec, specs: Sequence[PartitionSpec]
+    ) -> List[IntraCost]:
+        """``intraC(n, P)`` over a whole candidate list.
+
+        Purely spatial specs (the bulk of any candidate space) share one
+        vectorized compute-latency evaluation per phase; temporal specs
+        need their per-step ring schedules and go through the scalar path.
+        Every entry is bit-identical to ``cost(op, specs[i])``.
+        """
+        results: List[IntraCost] = [
+            self._cache.get((op.name, spec.steps, spec.n_bits)) for spec in specs
+        ]
+        spatial = [
+            i
+            for i, cached in enumerate(results)
+            if cached is None and not specs[i].has_temporal
+        ]
+        if spatial:
+            batch = [specs[i] for i in spatial]
+            step_compute = {
+                phase: self.compute.step_latency_batch(op, batch, phase)
+                for phase in ALL_PHASES
+            }
+            for j, i in enumerate(spatial):
+                spec = specs[i]
+                compute_total = 0.0
+                allreduce_total = 0.0
+                for phase in ALL_PHASES:
+                    compute_total += float(step_compute[phase][j])
+                    allreduce_total += self.communication.allreduce_latency(
+                        op, spec, phase
+                    )
+                allreduce_total += self.communication.layernorm_extras(op, spec)
+                result = IntraCost(
+                    compute_latency=compute_total,
+                    ring_latency=0.0,
+                    ring_exposed=0.0,
+                    allreduce_latency=allreduce_total,
+                    memory_bytes=self.memory.operator_memory(op, spec),
+                    alpha=self.alpha,
+                )
+                self._cache[(op.name, spec.steps, spec.n_bits)] = result
+                results[i] = result
+        for i, cached in enumerate(results):
+            if cached is None:
+                results[i] = self.cost(op, specs[i])
+        return results

@@ -11,13 +11,14 @@ exact reduction of the DP state space — the search stays optimal while the
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ...graph.operators import OperatorSpec
-from ..dims import Dim
+from ..dims import ALL_DIMS, Dim
 from ..spec import PartitionSpec
 from ..space import enumerate_specs
 from .. import cost as _cost  # noqa: F401  (re-export convenience)
@@ -55,13 +56,44 @@ class CandidateSet:
     def index_of(self, spec: PartitionSpec) -> int:
         return self.specs.index(spec)
 
+    @property
+    def cache_token(self) -> Tuple:
+        """Hashable content identity: same token ⇒ same op type and specs.
+
+        Memoization key material for edge cost matrices — two candidate
+        sets with equal tokens produce identical inter-cost matrices for a
+        structurally identical edge.
+        """
+        token = self.__dict__.get("_cache_token")
+        if token is None:
+            token = (
+                type_key(self.op),
+                self.specs[0].n_bits if self.specs else 0,
+                tuple(spec.steps for spec in self.specs),
+            )
+            self.__dict__["_cache_token"] = token
+        return token
+
 
 def boundary_class_key(op: OperatorSpec, spec: PartitionSpec) -> bytes:
-    """Hashable key of a spec's edge-observable boundary layouts."""
-    parts = [
-        bytes(str(sorted(spec.slice_counts.items(), key=str)), "ascii"),
-        bytes(str(grid_signature(op, spec)), "ascii"),
-    ]
+    """Hashable key of a spec's edge-observable boundary layouts.
+
+    Encoded directly as packed binary (slice counts in fixed dim order, grid
+    events as length-prefixed axis names + factors, DSI matrices via
+    ``tobytes``) — no ``repr`` round-trips on the hot enumeration path.
+    """
+    counts = spec.slice_counts
+    parts = [struct.pack(f"<{len(ALL_DIMS)}q", *(counts[d] for d in ALL_DIMS))]
+    grid = bytearray()
+    for dim_value, events in grid_signature(op, spec):
+        label = dim_value.encode("ascii")
+        grid += struct.pack("<B", len(label)) + label
+        grid += struct.pack("<I", len(events))
+        for axis, factor in events:
+            name = axis.encode("ascii")
+            grid += struct.pack("<B", len(name)) + name
+            grid += struct.pack("<q", factor)
+    parts.append(bytes(grid))
     for phase, t in _BOUNDARY_POINTS:
         parts.append(spec.evaluator.dsi_matrix(phase, t).tobytes())
     return b"|".join(parts)
@@ -127,7 +159,7 @@ def build_candidates(
             f"operator {op.name} admits no partitioning over {n_bits} bits"
         )
     raw_size = len(specs)
-    costs = np.array([intra_model.cost(op, s).total for s in specs])
+    costs = np.array([c.total for c in intra_model.cost_batch(op, specs)])
     if not collapse:
         order = np.arange(len(specs))
     else:

@@ -10,7 +10,7 @@ the cost of an extended edge from the segment start if one exists.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, MutableMapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -65,6 +65,7 @@ class SegmentTable:
 
     def extract(self, a: int, c: int, out: Dict[str, int]) -> None:
         """Fill ``out`` with the optimal class per node given endpoints."""
+        index = {name: i for i, name in enumerate(self.node_names)}
         out[self.start] = a
         out[self.end] = c
         current = c
@@ -73,9 +74,28 @@ class SegmentTable:
             if arg is None:
                 continue
             previous = int(arg[a, current])
-            prev_name = self.node_names[self.node_names.index(name) - 1]
+            prev_name = self.node_names[index[name] - 1]
             out[prev_name] = previous
             current = previous
+
+
+def edge_signature(edge: Edge) -> Tuple:
+    """Structural identity of an edge, independent of its node names.
+
+    Two edges with equal signatures between candidate sets of equal
+    ``cache_token`` produce identical cost matrices (stacked transformer
+    layers, repeated ``(src, dst)`` operator-type pairs).
+    """
+    return (
+        edge.slot,
+        tuple(sorted(edge.axis_map.items())),
+        tuple(
+            sorted(
+                (axis, interval.start, interval.stop)
+                for axis, interval in edge.src_fixed.items()
+            )
+        ),
+    )
 
 
 def edge_cost_matrix(
@@ -84,10 +104,14 @@ def edge_cost_matrix(
     candidates: Mapping[str, CandidateSet],
     src: str,
     dst: str,
+    memo: Optional[MutableMapping[Tuple, np.ndarray]] = None,
 ) -> Optional[np.ndarray]:
     """Summed inter-operator cost over all edges ``src -> dst``.
 
     Returns ``None`` when no such edge exists (cost contribution zero).
+    With ``memo``, each per-edge matrix is computed once per (edge
+    signature, producer/consumer candidate identity) and reused — across
+    stacked layers within one search and across searches sharing the memo.
     """
     edges = [e for e in graph.edges if e.src == src and e.dst == dst]
     if not edges:
@@ -96,13 +120,22 @@ def edge_cost_matrix(
     dst_set = candidates[dst]
     total = np.zeros((len(src_set), len(dst_set)))
     for edge in edges:
-        total += inter_model.cost_matrix(
-            edge,
-            src_set.op,
-            src_set.boundaries,
-            dst_set.op,
-            dst_set.boundaries,
-        )
+        matrix = None
+        key = None
+        if memo is not None:
+            key = (edge_signature(edge), src_set.cache_token, dst_set.cache_token)
+            matrix = memo.get(key)
+        if matrix is None:
+            matrix = inter_model.cost_matrix(
+                edge,
+                src_set.op,
+                src_set.boundaries,
+                dst_set.op,
+                dst_set.boundaries,
+            )
+            if memo is not None:
+                memo[key] = matrix
+        total += matrix
     return total
 
 
@@ -111,6 +144,7 @@ def solve_segment(
     segment: Segment,
     candidates: Mapping[str, CandidateSet],
     inter_model: InterOperatorCostModel,
+    edge_memo: Optional[MutableMapping[Tuple, np.ndarray]] = None,
 ) -> SegmentTable:
     """Run Eq. 11-12 over one segment, producing its optimal sub-structure."""
     names = segment.node_names
@@ -128,7 +162,9 @@ def solve_segment(
     previous = start
     for name in names[1:]:
         node_set = candidates[name]
-        edge_prev = edge_cost_matrix(graph, inter_model, candidates, previous, name)
+        edge_prev = edge_cost_matrix(
+            graph, inter_model, candidates, previous, name, memo=edge_memo
+        )
         if edge_prev is None:
             # Assumption 1 guarantees e_{j, j+1} exists for true chains; a
             # missing edge contributes zero cost.
@@ -137,7 +173,7 @@ def solve_segment(
         new_cost += node_set.intra[None, :]
         if previous != start:
             edge_start = edge_cost_matrix(
-                graph, inter_model, candidates, start, name
+                graph, inter_model, candidates, start, name, memo=edge_memo
             )
             if edge_start is not None:
                 new_cost += edge_start  # Eq. 12's e_{i, j+1}

@@ -1,0 +1,83 @@
+"""Process-pool fan-out for the strategy-search pipeline.
+
+Candidate-set builds (one per operator type) and ``(p, d, m)`` sweep
+configurations are independent, CPU-bound, pure functions — exactly the
+shape a ``ProcessPoolExecutor`` parallelizes well under the GIL.  Results
+are merged in *submission order* (``executor.map``), so the outcome is
+deterministic and bit-identical to the serial path regardless of which
+worker finishes first.
+
+Workers must receive picklable payloads; everything in the search stack
+(operators, specs, profilers, fitted models) is plain dataclasses/numpy and
+pickles cleanly.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from ..cost.intra import IntraOperatorCostModel
+from .candidates import CandidateSet, build_candidates
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a jobs request: ``None``/1 → serial, 0 → all cores."""
+    if jobs is None:
+        return 1
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def parallel_map(
+    fn: Callable[[_T], _R], items: Sequence[_T], jobs: Optional[int]
+) -> List[_R]:
+    """Map ``fn`` over ``items``, fanning out to processes when ``jobs > 1``.
+
+    Results come back in input order — merging is order-independent by
+    construction.  ``fn`` must be a module-level (picklable) callable.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items))
+
+
+def build_candidates_task(
+    payload: Tuple,
+) -> CandidateSet:
+    """Worker: build one operator type's candidate set.
+
+    Payload: ``(op, n_bits, profiler, alpha, memory_model, include_temporal,
+    partition_batch, beam)`` — the intra model is rebuilt in the worker so a
+    fresh (empty) per-process cache never skews results.
+    """
+    (
+        op,
+        n_bits,
+        profiler,
+        alpha,
+        memory_model,
+        include_temporal,
+        partition_batch,
+        beam,
+    ) = payload
+    intra_model = IntraOperatorCostModel(
+        profiler, alpha=alpha, memory_model=memory_model
+    )
+    return build_candidates(
+        op,
+        n_bits,
+        intra_model,
+        include_temporal=include_temporal,
+        partition_batch=partition_batch,
+        beam=beam,
+    )

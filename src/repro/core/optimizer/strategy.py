@@ -17,6 +17,7 @@ from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from ... import cache as diskcache
 from ...cluster.profiler import FabricProfiler
 from ...graph.graph import ComputationGraph
 from ..cost.inter import InterOperatorCostModel
@@ -26,6 +27,7 @@ from ..spec import PartitionSpec
 from .candidates import CandidateSet, build_candidates, type_key
 from .dp import SegmentTable, edge_cost_matrix, solve_segment
 from .merge import MergeTable, merge_tables, stack_layers
+from .parallel import build_candidates_task, parallel_map, resolve_jobs
 from .segmenter import segment_graph
 
 
@@ -39,6 +41,8 @@ class SearchResult:
         elapsed: Wall-clock search time in seconds.
         candidate_sizes: Per-node (raw space size, collapsed class count).
         model_cost: Cost after layer stacking (when requested).
+        stage_seconds: Wall-clock per pipeline stage (``candidates``,
+            ``segment_dp``, ``merge``).
     """
 
     plan: Dict[str, PartitionSpec]
@@ -46,6 +50,7 @@ class SearchResult:
     elapsed: float
     candidate_sizes: Dict[str, Tuple[int, int]] = field(default_factory=dict)
     model_cost: Optional[float] = None
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
 
 class PrimeParOptimizer:
@@ -62,6 +67,13 @@ class PrimeParOptimizer:
         beam: Optional per-node candidate cap (cheapest classes by intra
             cost) bounding search time on large clusters; ``None`` searches
             the full space.
+        jobs: Process-pool width for per-operator-type candidate builds
+            (``1`` = serial, ``0`` = all cores).  Results are merged
+            order-independently and are bit-identical to the serial path.
+        use_disk_cache: Persist candidate sets to the on-disk cache
+            (:mod:`repro.cache`) so repeated invocations start warm.  Only
+            active for noise-free profilers (noisy "measurements" depend on
+            RNG draw order and must not be reused across runs).
     """
 
     def __init__(
@@ -72,43 +84,118 @@ class PrimeParOptimizer:
         partition_batch: bool = True,
         memory_model: Optional[MemoryCostModel] = None,
         beam: Optional[int] = None,
+        jobs: int = 1,
+        use_disk_cache: bool = True,
     ) -> None:
         self.profiler = profiler
         self.include_temporal = include_temporal
         self.partition_batch = partition_batch
         #: Optional cap on candidate classes per node (approximate search).
         self.beam = beam
+        self.jobs = resolve_jobs(jobs)
+        self.use_disk_cache = use_disk_cache
         self.intra_model = IntraOperatorCostModel(
             profiler, alpha=alpha, memory_model=memory_model
         )
         self.inter_model = InterOperatorCostModel(profiler)
         self._candidate_cache: Dict[Tuple, CandidateSet] = {}
+        #: Edge cost matrices memoized on (edge signature, candidate
+        #: identities) — stacked layers and repeated type pairs pay once.
+        self._edge_memo: Dict[Tuple, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # candidates
     # ------------------------------------------------------------------
 
+    def _disk_key(self, node) -> Optional[str]:
+        """Content hash for one operator type's candidate set, or ``None``.
+
+        ``None`` when persistence is off, the profiler is noisy (its fitted
+        models depend on RNG draw order), or some input cannot be encoded
+        canonically.
+        """
+        if not self.use_disk_cache or self.profiler.noise != 0.0:
+            return None
+        memory = self.intra_model.memory
+        try:
+            return diskcache.content_key(
+                "candidates",
+                type_key(node),
+                self.profiler.topology,
+                tuple(self.profiler.sizes),
+                self.intra_model.alpha,
+                (type(memory).__qualname__, sorted(vars(memory).items())),
+                self.include_temporal,
+                self.partition_batch,
+                self.beam,
+            )
+        except TypeError:
+            return None
+
     def candidates_for(self, graph: ComputationGraph) -> Dict[str, CandidateSet]:
-        """Candidate sets per node, shared across same-type nodes."""
+        """Candidate sets per node, shared across same-type nodes.
+
+        Resolution order per operator type: in-memory cache, then the
+        persistent disk cache, then a build — serial, or fanned out over a
+        process pool (one task per missing type) when ``jobs > 1``.
+        """
         n_bits = self.profiler.topology.n_bits
-        result: Dict[str, CandidateSet] = {}
+        keyed_nodes: Dict[Tuple, object] = {}
+        node_keys: Dict[str, Tuple] = {}
         for node in graph.nodes:
             key = type_key(node) + (
                 n_bits, self.include_temporal, self.partition_batch, self.beam
             )
-            cached = self._candidate_cache.get(key)
-            if cached is None:
-                cached = build_candidates(
-                    node,
-                    n_bits,
-                    self.intra_model,
-                    include_temporal=self.include_temporal,
-                    partition_batch=self.partition_batch,
-                    beam=self.beam,
-                )
-                self._candidate_cache[key] = cached
-            result[node.name] = cached
-        return result
+            node_keys[node.name] = key
+            keyed_nodes.setdefault(key, node)
+        misses = []
+        for key, node in keyed_nodes.items():
+            if key in self._candidate_cache:
+                continue
+            disk_key = self._disk_key(node)
+            if disk_key is not None:
+                cached = diskcache.load("candidates", disk_key)
+                if cached is not None:
+                    self._candidate_cache[key] = cached
+                    continue
+            misses.append((key, node, disk_key))
+        if misses:
+            # Fan out only when fits cannot depend on RNG draw order.
+            jobs = self.jobs if self.profiler.noise == 0.0 else 1
+            if jobs > 1 and len(misses) > 1:
+                payloads = [
+                    (
+                        node,
+                        n_bits,
+                        self.profiler,
+                        self.intra_model.alpha,
+                        self.intra_model.memory,
+                        self.include_temporal,
+                        self.partition_batch,
+                        self.beam,
+                    )
+                    for _, node, _ in misses
+                ]
+                built = parallel_map(build_candidates_task, payloads, jobs)
+            else:
+                built = [
+                    build_candidates(
+                        node,
+                        n_bits,
+                        self.intra_model,
+                        include_temporal=self.include_temporal,
+                        partition_batch=self.partition_batch,
+                        beam=self.beam,
+                    )
+                    for _, node, _ in misses
+                ]
+            for (key, _, disk_key), candidate_set in zip(misses, built):
+                self._candidate_cache[key] = candidate_set
+                if disk_key is not None:
+                    diskcache.store("candidates", disk_key, candidate_set)
+        return {
+            name: self._candidate_cache[key] for name, key in node_keys.items()
+        }
 
     # ------------------------------------------------------------------
     # search
@@ -125,11 +212,16 @@ class PrimeParOptimizer:
         """
         started = time.perf_counter()
         candidates = self.candidates_for(graph)
+        candidates_done = time.perf_counter()
         segmentation = segment_graph(graph)
         tables: List[Union[SegmentTable, MergeTable]] = [
-            solve_segment(graph, seg, candidates, self.inter_model)
+            solve_segment(
+                graph, seg, candidates, self.inter_model,
+                edge_memo=self._edge_memo,
+            )
             for seg in segmentation.segments
         ]
+        segments_done = time.perf_counter()
         # Cross-segment edges span exactly two adjacent segments (their
         # source anchors the earlier one, paper Fig. 6's e_{0,7}); merge
         # those pairs first so both endpoints are still table endpoints
@@ -148,7 +240,8 @@ class PrimeParOptimizer:
             if pair_edges:
                 cross_cost = sum(
                     edge_cost_matrix(
-                        graph, self.inter_model, candidates, e.src, e.dst
+                        graph, self.inter_model, candidates, e.src, e.dst,
+                        memo=self._edge_memo,
                     )
                     for e in pair_edges
                 )
@@ -192,14 +285,19 @@ class PrimeParOptimizer:
             boundary_intra = candidates[merged.end].intra
             stacked = stack_layers(merged, boundary_intra, n_layers)
             model_cost = float(stacked.cost.min())
-        elapsed = time.perf_counter() - started
+        finished = time.perf_counter()
         return SearchResult(
             plan=plan,
             cost=float(layer_cost[a, c]),
-            elapsed=elapsed,
+            elapsed=finished - started,
             candidate_sizes={
                 name: (cset.raw_size, len(cset))
                 for name, cset in candidates.items()
             },
             model_cost=model_cost,
+            stage_seconds={
+                "candidates": candidates_done - started,
+                "segment_dp": segments_done - candidates_done,
+                "merge": finished - segments_done,
+            },
         )

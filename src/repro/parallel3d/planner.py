@@ -17,6 +17,7 @@ from ..cluster.collectives import COLLECTIVE_EFFICIENCY
 from ..cluster.profiler import FabricProfiler
 from ..cluster.topology import ClusterTopology, v100_cluster
 from ..core.dims import Dim
+from ..core.optimizer.parallel import parallel_map, resolve_jobs
 from ..core.optimizer.strategy import PrimeParOptimizer
 from ..core.spec import PartitionSpec
 from ..graph.models import ModelConfig
@@ -90,6 +91,9 @@ class Planner3D:
             closed form; ``"event"`` replays it on the discrete-event
             engine (exposes send stalls inside 1F1B's steady state and
             yields a per-stage timeline).
+        jobs: Process-pool width for the sweep's independent per-``m``
+            tensor-parallel plan searches (``1`` = serial, ``0`` = all
+            cores).  Results merge deterministically by configuration key.
     """
 
     def __init__(
@@ -100,6 +104,7 @@ class Planner3D:
         microbatch: int = 0,
         alpha: float = 0.0,
         pipeline_engine: str = "analytic",
+        jobs: int = 1,
     ) -> None:
         if pipeline_engine not in ("analytic", "event"):
             raise ValueError(f"unknown pipeline engine {pipeline_engine!r}")
@@ -109,6 +114,7 @@ class Planner3D:
         self.microbatch = microbatch
         self.alpha = alpha
         self.pipeline_engine = pipeline_engine
+        self.jobs = resolve_jobs(jobs)
         self._plan_cache: Dict[Tuple[str, int, int], Tuple] = {}
 
     # ------------------------------------------------------------------
@@ -123,6 +129,11 @@ class Planner3D:
         nodes of the V100 cluster.
         """
         return v100_cluster(m)
+
+    def _microbatch_for(self, d: int) -> int:
+        """Micro-batch size under ``d``-way data parallelism."""
+        batch_per_replica = max(self.global_batch // d, 1)
+        return self.microbatch or max(min(batch_per_replica, 1), 1)
 
     def _plan_for(
         self, method: str, m: int, micro: int
@@ -187,7 +198,7 @@ class Planner3D:
         p, d, m = config.pipeline, config.data, config.model
         layers_per_stage = max(self.model.n_layers // p, 1)
         batch_per_replica = max(self.global_batch // d, 1)
-        micro = self.microbatch or max(min(batch_per_replica, 1), 1)
+        micro = self._microbatch_for(d)
         n_micro = max(batch_per_replica // micro, 1)
         plan, simulator, graph = self._plan_for(method, m, micro)
         stage_report = simulator.run_model(graph, plan, micro, layers_per_stage)
@@ -221,14 +232,55 @@ class Planner3D:
             plan=plan,
         )
 
-    def sweep(self, method: str) -> List[Result3D]:
-        """Fig. 10's sweep: every ``(p, d, m)`` with ``p > 1``."""
+    def sweep(self, method: str, jobs: Optional[int] = None) -> List[Result3D]:
+        """Fig. 10's sweep: every ``(p, d, m)`` with ``p > 1``.
+
+        With ``jobs > 1`` (default: the planner's ``jobs``) the distinct
+        per-``(m, micro)`` tensor-parallel plan searches fan out over a
+        process pool first; results are merged back into the plan cache by
+        configuration key, so the sweep's output is identical to serial.
+        """
+        jobs = self.jobs if jobs is None else resolve_jobs(jobs)
+        configs = [
+            config
+            for config in enumerate_configs(self.n_devices)
+            if config.data <= self.global_batch
+        ]
+        if jobs > 1:
+            pending: List[Tuple[str, int, int]] = []
+            for config in configs:
+                key = (method, config.model, self._microbatch_for(config.data))
+                if key not in self._plan_cache and key not in pending:
+                    pending.append(key)
+            if pending:
+                payloads = [(self, key) for key in pending]
+                for key, outcome in zip(
+                    pending, parallel_map(_plan_task, payloads, jobs)
+                ):
+                    status, value = outcome
+                    if status == "ok":
+                        self._plan_cache[key] = value
+                    # "error": leave the key absent so simulate() raises the
+                    # same ValueError the serial path would, and the config
+                    # is skipped identically.
         results = []
-        for config in enumerate_configs(self.n_devices):
-            if config.data > self.global_batch:
-                continue
+        for config in configs:
             try:
                 results.append(self.simulate(config, method))
             except ValueError:
                 continue
         return results
+
+
+def _plan_task(payload: Tuple["Planner3D", Tuple[str, int, int]]) -> Tuple[str, object]:
+    """Worker: one ``(method, m, micro)`` tensor-parallel plan search.
+
+    Returns ``("ok", (plan, simulator, graph))`` or ``("error", message)``
+    so a failing configuration is skipped by the parent exactly as the
+    serial ``ValueError`` path skips it.
+    """
+    planner, (method, m, micro) = payload
+    try:
+        return ("ok", planner._plan_for(method, m, micro))
+    except ValueError as exc:
+        return ("error", str(exc))

@@ -10,6 +10,24 @@ from repro.graph.models import OPT_175B, OPT_6_7B
 from repro.graph.transformer import build_block_graph, build_mlp_graph
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_cache(tmp_path_factory):
+    """Point the persistent search cache at a per-session temp directory.
+
+    Tests must neither read a developer's warm cache nor pollute it.
+    """
+    import os
+
+    directory = tmp_path_factory.mktemp("primepar-cache")
+    saved = os.environ.get("PRIMEPAR_CACHE_DIR")
+    os.environ["PRIMEPAR_CACHE_DIR"] = str(directory)
+    yield directory
+    if saved is None:
+        os.environ.pop("PRIMEPAR_CACHE_DIR", None)
+    else:
+        os.environ["PRIMEPAR_CACHE_DIR"] = saved
+
+
 @pytest.fixture(scope="session")
 def topo4():
     return v100_cluster(4)
