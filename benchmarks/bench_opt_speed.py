@@ -129,6 +129,7 @@ def run_benchmark(
     smoke: bool = False,
     jobs: Optional[int] = None,
     out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
 ) -> Dict:
     jobs = jobs if jobs is not None else (jobs_for() if jobs_for() > 1 else 4)
     scales = SMOKE_SCALES if smoke else FULL_SCALES
@@ -156,6 +157,11 @@ def run_benchmark(
     out_path.parent.mkdir(parents=True, exist_ok=True)
     with open(out_path, "w") as handle:
         json.dump(payload, handle, indent=2)
+    if metrics_out:
+        from repro.obs import write_metrics
+
+        Path(metrics_out).parent.mkdir(parents=True, exist_ok=True)
+        write_metrics(metrics_out)
     return payload
 
 
@@ -214,9 +220,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--out", default="",
         help="output JSON path (default benchmarks/results/BENCH_opt_speed.json)",
     )
+    parser.add_argument(
+        "--metrics-out", default="", metavar="PATH",
+        help="also dump the telemetry registry (metrics + spans) as JSON",
+    )
     args = parser.parse_args(argv)
     payload = run_benchmark(
-        smoke=args.smoke, jobs=args.jobs or None, out=args.out or None
+        smoke=args.smoke, jobs=args.jobs or None, out=args.out or None,
+        metrics_out=args.metrics_out or None,
     )
     print(_report(payload))
     out = args.out or str(RESULTS_DIR / "BENCH_opt_speed.json")

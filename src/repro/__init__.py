@@ -12,6 +12,7 @@ Quickstart::
         build_block_graph, v100_cluster,
     )
     from repro.graph.models import OPT_175B
+    from repro.reporting import emit
 
     topology = v100_cluster(16)
     profiler = FabricProfiler(topology)
@@ -20,7 +21,11 @@ Quickstart::
     report = TrainingSimulator(profiler).run_model(
         graph, result.plan, global_batch=16, n_layers=OPT_175B.n_layers
     )
-    print(report.throughput, "samples/s")
+    emit(f"{report.throughput} samples/s")
+
+``result.telemetry`` carries the search's metric deltas and timing spans;
+see :mod:`repro.obs` (``configure_logging``, ``get_registry``, ``span``)
+for the telemetry layer behind them.
 """
 
 from .cluster.profiler import FabricProfiler
@@ -35,6 +40,7 @@ from .core.partitions import (
 from .core.spec import PartitionSpec
 from .core.optimizer.strategy import PrimeParOptimizer, SearchResult
 from .graph.models import BENCHMARK_MODELS, MODELS_BY_KEY, ModelConfig
+from .obs import configure_logging
 from .graph.transformer import BlockShape, build_block_graph, build_mlp_graph
 from .parallel3d.planner import Config3D, Planner3D, enumerate_configs
 from .runtime.verify import VerificationReport, verify_spec
@@ -66,6 +72,7 @@ __all__ = [
     "VerificationReport",
     "build_block_graph",
     "build_mlp_graph",
+    "configure_logging",
     "enumerate_configs",
     "parse_sequence",
     "torus_cluster",

@@ -31,7 +31,9 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Dict, Optional, Tuple
+
+from .obs.metrics import counter
 
 logger = logging.getLogger(__name__)
 
@@ -125,8 +127,9 @@ def _entry_path(kind: str, key: str) -> Path:
     return cache_dir() / f"{kind}-{key[:40]}.pkl"
 
 
-def _discard(path: Path, reason: str) -> None:
+def _discard(path: Path, kind: str, reason: str, cause: str) -> None:
     logger.warning("primepar cache: discarding %s (%s)", path.name, reason)
+    counter("cache.discards", kind=kind, cause=cause).inc()
     try:
         path.unlink()
     except OSError:
@@ -142,13 +145,17 @@ def load(kind: str, key: str) -> Optional[Any]:
         with open(path, "rb") as handle:
             entry = pickle.load(handle)
     except FileNotFoundError:
+        counter("cache.misses", kind=kind).inc()
         return None
     except Exception as exc:  # corrupt pickle, truncated file, ...
-        _discard(path, f"corrupt entry: {exc}")
+        _discard(path, kind, f"corrupt entry: {exc}", cause="corrupt")
+        counter("cache.misses", kind=kind).inc()
         return None
     if not isinstance(entry, dict) or entry.get("version") != CACHE_VERSION:
-        _discard(path, "stale schema version")
+        _discard(path, kind, "stale schema version", cause="stale")
+        counter("cache.misses", kind=kind).inc()
         return None
+    counter("cache.hits", kind=kind).inc()
     return entry.get("value")
 
 
@@ -168,10 +175,12 @@ def store(kind: str, key: str, value: Any) -> None:
                     protocol=pickle.HIGHEST_PROTOCOL,
                 )
             os.replace(tmp_name, _entry_path(kind, key))
+            counter("cache.stores", kind=kind).inc()
         except BaseException:
             os.unlink(tmp_name)
             raise
     except Exception as exc:  # read-only FS, quota, ... — never fatal
+        counter("cache.store_errors", kind=kind).inc()
         logger.warning("primepar cache: failed to store %s entry: %s", kind, exc)
 
 
@@ -200,3 +209,24 @@ def total_bytes() -> int:
     if not directory.is_dir():
         return 0
     return sum(path.stat().st_size for path in directory.glob("*.pkl"))
+
+
+def stats_by_kind() -> Dict[str, Tuple[int, int]]:
+    """Per-kind ``(entry count, total bytes)`` of the on-disk cache.
+
+    The kind is recovered from the ``{kind}-{digest}.pkl`` file layout;
+    files that do not match (foreign droppings) are grouped under ``"?"``.
+    """
+    directory = cache_dir()
+    stats: Dict[str, Tuple[int, int]] = {}
+    if not directory.is_dir():
+        return stats
+    for path in directory.glob("*.pkl"):
+        kind = path.stem.rsplit("-", 1)[0] if "-" in path.stem else "?"
+        count, size = stats.get(kind, (0, 0))
+        try:
+            size += path.stat().st_size
+        except OSError:
+            continue
+        stats[kind] = (count + 1, size)
+    return stats

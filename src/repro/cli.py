@@ -1,4 +1,4 @@
-"""Command-line interface: search, verify, compare and sweep.
+"""Command-line interface: search, verify, compare, sweep and report.
 
 Installed as the ``primepar`` console script::
 
@@ -7,11 +7,19 @@ Installed as the ``primepar`` console script::
     primepar compare  --model bloom-176b --devices 16 --batch 16
     primepar sweep3d  --model llama2-70b --devices 32 --batch 32
     primepar simulate --model opt-6.7b --devices 8 --engine event --trace out.json
+    primepar report   metrics.json
+
+Global observability flags: ``--log-level``/``--log-json`` configure the
+structured logger (stderr; result tables stay on stdout), and ``search`` /
+``simulate`` accept ``--metrics-out PATH`` to dump the telemetry registry
+(counters, gauges, histograms, spans) as schema-stable JSON that
+``primepar report`` renders.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -29,7 +37,17 @@ from . import (
 from .baselines.alpa import alpa_optimizer
 from .baselines.megatron import best_megatron_plan
 from .graph.models import MODELS_BY_KEY
-from .reporting.tables import format_table
+from .obs import (
+    configure_logging,
+    get_collector,
+    get_logger,
+    write_metrics,
+)
+from .obs.logsetup import LEVELS
+from .obs.metrics import MetricsRegistry
+from .reporting.tables import emit, format_table
+
+logger = get_logger("cli")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -59,6 +77,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_metrics_out(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out", default="", metavar="PATH",
+        help="dump the telemetry registry (metrics + spans) as JSON here",
+    )
+
+
 def _setting(args):
     model = MODELS_BY_KEY[args.model]
     batch = args.batch or max(8, min(args.devices, 32))
@@ -67,8 +92,19 @@ def _setting(args):
     return model, batch, profiler, graph
 
 
+def _write_metrics_if_requested(args) -> None:
+    path = getattr(args, "metrics_out", "")
+    if path:
+        write_metrics(path)
+        logger.info("telemetry metrics written to %s", path)
+
+
 def cmd_search(args) -> int:
     model, batch, profiler, graph = _setting(args)
+    logger.info(
+        "searching %s on %d devices (batch %d, beam %s, jobs %d)",
+        model.name, args.devices, batch, args.beam or "exact", args.jobs,
+    )
     optimizer = PrimeParOptimizer(
         profiler,
         alpha=args.alpha,
@@ -77,28 +113,33 @@ def cmd_search(args) -> int:
         jobs=args.jobs,
     )
     result = optimizer.optimize(graph, n_layers=model.n_layers)
-    print(f"search: {result.elapsed:.2f}s  layer cost {result.cost:.4f}")
+    for stage, seconds in sorted(result.stage_seconds.items()):
+        logger.debug("search stage %s: %.3fs", stage, seconds)
+    emit(f"search: {result.elapsed:.2f}s  layer cost {result.cost:.4f}")
     rows = [[name, str(spec)] for name, spec in sorted(result.plan.items())]
-    print(format_table(["operator", "partition sequence P"], rows))
+    emit(format_table(["operator", "partition sequence P"], rows))
     report = TrainingSimulator(profiler).run_model(
         graph, result.plan, batch, model.n_layers
     )
-    print(
+    emit(
         f"\nsimulated: {report.throughput:.2f} samples/s, "
         f"{report.peak_memory_bytes / 2**30:.2f} GiB/device"
     )
+    _write_metrics_if_requested(args)
     return 0
 
 
 def cmd_verify(args) -> int:
     spec = PartitionSpec.from_string(args.spec, args.bits)
     report = verify_spec(spec, seed=args.seed)
-    print(f"spec: {report.spec} over {2 ** args.bits} devices")
-    print(f"all-reduce invocations: {report.allreduce_invocations}")
-    print(f"point-to-point messages: {report.p2p_messages}")
+    emit(
+        f"spec: {report.spec} over {2 ** args.bits} devices",
+        f"all-reduce invocations: {report.allreduce_invocations}",
+        f"point-to-point messages: {report.p2p_messages}",
+    )
     for name, err in report.max_errors.items():
-        print(f"  max |{name} - reference| = {err:.3e}")
-    print("PASSED" if report.passed else "FAILED")
+        emit(f"  max |{name} - reference| = {err:.3e}")
+    emit("PASSED" if report.passed else "FAILED")
     return 0 if report.passed else 1
 
 
@@ -106,6 +147,9 @@ def cmd_compare(args) -> int:
     model, batch, profiler, graph = _setting(args)
     simulator = TrainingSimulator(profiler)
     beam = args.beam or None
+    logger.info(
+        "comparing baselines for %s on %d devices", model.name, args.devices
+    )
     megatron = best_megatron_plan(simulator, graph, batch, model.n_layers)
     alpa = alpa_optimizer(profiler, beam=beam).optimize(graph)
     alpa_report = simulator.run_model(graph, alpa.plan, batch, model.n_layers)
@@ -130,7 +174,7 @@ def cmd_compare(args) -> int:
                 f"{report.collective_latency * 1e3:.0f}",
             ]
         )
-    print(
+    emit(
         format_table(
             ["system", "samples/s", "vs megatron", "GiB/dev", "collective ms"],
             rows,
@@ -138,6 +182,54 @@ def cmd_compare(args) -> int:
         )
     )
     return 0
+
+
+def _emit_utilization(report, n_layers: int) -> None:
+    """The post-run utilization summary of ``primepar simulate``."""
+    util = report.utilization or {}
+    busy = util.get("device_busy_fraction", {})
+    if busy:
+        rows = [
+            [f"dev{device}", f"{fraction * 100:.1f}%"]
+            for device, fraction in sorted(
+                busy.items(), key=lambda kv: int(kv[0])
+            )
+        ]
+        emit("", format_table(["device", "busy"], rows, title="utilization"))
+    links = util.get("link_utilization", {})
+    if links:
+        hottest = sorted(links.items(), key=lambda kv: -kv[1])[:3]
+        link_bytes = util.get("link_bytes", {})
+        rows = [
+            [
+                key,
+                f"{share * 100:.1f}%",
+                f"{link_bytes.get(key, 0.0) / 2**20:.1f}",
+            ]
+            for key, share in hottest
+        ]
+        emit(
+            "",
+            format_table(
+                ["link", "utilization", "MiB moved"], rows,
+                title="hottest links",
+            ),
+        )
+    watermark = util.get("memory_watermark")
+    if watermark:
+        composition = ", ".join(
+            f"{kind} {resident / 2**30:.2f} GiB"
+            for kind, resident in sorted(
+                watermark.get("composition", {}).items()
+            )
+        )
+        emit(
+            f"\npeak memory per device: "
+            f"{report.peak_memory_bytes / 2**30:.2f} GiB static model, "
+            f"{watermark.get('peak_bytes', 0.0) / 2**30:.2f} GiB tracked "
+            f"watermark over {n_layers} layers"
+            + (f" ({composition})" if composition else "")
+        )
 
 
 def cmd_simulate(args) -> int:
@@ -155,26 +247,36 @@ def cmd_simulate(args) -> int:
     else:
         simulator = TrainingSimulator(profiler)
     n_layers = args.layers or model.n_layers
-    report = simulator.run_model(graph, plan, batch, n_layers)
-    print(
-        f"{args.engine} engine: {model.name}, {args.devices} devices, "
-        f"batch {batch}, {n_layers} layers"
+    logger.info(
+        "simulating %s plan on the %s engine (%d devices, %d layers)",
+        args.plan, args.engine, args.devices, n_layers,
     )
-    print(
+    report = simulator.run_model(graph, plan, batch, n_layers)
+    emit(
+        f"{args.engine} engine: {model.name}, {args.devices} devices, "
+        f"batch {batch}, {n_layers} layers",
         f"iteration latency {report.latency * 1e3:.3f} ms, "
         f"{report.throughput:.2f} samples/s, "
-        f"{report.peak_memory_bytes / 2**30:.2f} GiB/device"
+        f"{report.peak_memory_bytes / 2**30:.2f} GiB/device",
     )
     rows = [
         [kind, f"{seconds * 1e3:.3f}"]
         for kind, seconds in sorted(report.breakdown.items())
     ]
-    print(format_table(["kernel kind", "total ms"], rows))
+    emit(format_table(["kernel kind", "total ms"], rows))
+    _emit_utilization(report, n_layers)
     if args.trace:
         from .sim.trace import write_trace
 
-        write_trace(args.trace, report.timeline, profiler.topology)
-        print(f"trace written to {args.trace}")
+        write_trace(
+            args.trace,
+            report.timeline,
+            profiler.topology,
+            spans=get_collector().export(),
+        )
+        logger.info("trace written to %s", args.trace)
+        emit(f"trace written to {args.trace}")
+    _write_metrics_if_requested(args)
     return 0
 
 
@@ -183,20 +285,58 @@ def cmd_cache(args) -> int:
 
     if args.clear:
         removed = diskcache.clear()
-        print(f"cleared {removed} cache entries from {diskcache.cache_dir()}")
+        logger.info("cleared %d cache entries", removed)
+        emit(f"cleared {removed} cache entries from {diskcache.cache_dir()}")
         return 0
     state = "enabled" if diskcache.cache_enabled() else "disabled (PRIMEPAR_CACHE)"
-    print(f"cache directory: {diskcache.cache_dir()}  [{state}]")
-    print(
+    emit(
+        f"cache directory: {diskcache.cache_dir()}  [{state}]",
         f"entries: {diskcache.entry_count()}, "
-        f"{diskcache.total_bytes() / 2**20:.2f} MiB"
+        f"{diskcache.total_bytes() / 2**20:.2f} MiB",
     )
+    if args.stats:
+        rows = [
+            [kind, str(count), f"{size / 2**20:.2f}"]
+            for kind, (count, size) in sorted(
+                diskcache.stats_by_kind().items()
+            )
+        ]
+        emit(
+            format_table(
+                ["kind", "entries", "MiB"], rows, title="entries by kind"
+            )
+        )
+        from .obs import get_registry
+
+        counters = [
+            entry
+            for entry in get_registry().snapshot()["counters"]
+            if entry["name"].startswith("cache.")
+        ]
+        rows = [
+            [
+                entry["name"],
+                entry["labels"].get("kind", "-"),
+                str(int(entry["value"])),
+            ]
+            for entry in counters
+        ]
+        emit(
+            format_table(
+                ["counter", "kind", "value"], rows,
+                title="this-process cache traffic",
+            )
+        )
     return 0
 
 
 def cmd_sweep3d(args) -> int:
     model = MODELS_BY_KEY[args.model]
     batch = args.batch or args.devices
+    logger.info(
+        "3D sweep of %s over %d devices (jobs %d)",
+        model.name, args.devices, args.jobs,
+    )
     planner = Planner3D(
         model,
         n_devices=args.devices,
@@ -216,7 +356,7 @@ def cmd_sweep3d(args) -> int:
         ]
         for config in megatron
     ]
-    print(
+    emit(
         format_table(
             ["(p,d,m)", "megatron", "primepar", "speedup"],
             rows,
@@ -226,10 +366,81 @@ def cmd_sweep3d(args) -> int:
     return 0
 
 
+def _labels_text(labels) -> str:
+    if not labels:
+        return "-"
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def cmd_report(args) -> int:
+    with open(args.metrics, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if args.prometheus:
+        registry = MetricsRegistry()
+        registry.merge_snapshot(document)
+        emit(registry.to_prometheus().rstrip("\n"))
+        return 0
+    counters = document.get("counters", [])
+    if counters:
+        rows = [
+            [e["name"], _labels_text(e["labels"]), f"{e['value']:g}"]
+            for e in counters
+        ]
+        emit(format_table(["counter", "labels", "value"], rows))
+    gauges = document.get("gauges", [])
+    if gauges:
+        rows = [
+            [e["name"], _labels_text(e["labels"]), f"{e['value']:g}"]
+            for e in gauges
+        ]
+        emit("", format_table(["gauge", "labels", "value"], rows))
+    histograms = document.get("histograms", [])
+    if histograms:
+        rows = [
+            [
+                e["name"],
+                _labels_text(e["labels"]),
+                str(e["count"]),
+                f"{e['sum']:g}",
+                f"{e['sum'] / e['count']:g}" if e["count"] else "-",
+            ]
+            for e in histograms
+        ]
+        emit("", format_table(
+            ["histogram", "labels", "count", "sum", "mean"], rows
+        ))
+    spans = document.get("spans", [])
+    if spans:
+        totals = {}
+        for entry in spans:
+            path = entry["path"]
+            count, total = totals.get(path, (0, 0.0))
+            totals[path] = (count + 1, total + entry["duration"])
+        rows = [
+            [
+                "  " * path.count("/") + path.rsplit("/", 1)[-1],
+                str(count),
+                f"{total * 1e3:.2f}",
+            ]
+            for path, (count, total) in sorted(totals.items())
+        ]
+        emit("", format_table(["span", "count", "total ms"], rows))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="primepar",
         description="PrimePar reproduction: spatial-temporal tensor partitioning",
+    )
+    parser.add_argument(
+        "--log-level", choices=LEVELS, default=None,
+        help="structured-log verbosity (default: $PRIMEPAR_LOG_LEVEL or "
+             "warning)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true", default=None,
+        help="emit JSON-lines logs (default: $PRIMEPAR_LOG_JSON)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -239,6 +450,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-temporal", action="store_true",
         help="restrict to the conventional space (Alpa baseline)",
     )
+    _add_metrics_out(search)
     search.set_defaults(func=cmd_search)
 
     verify = sub.add_parser("verify", help="verify a spec numerically")
@@ -274,8 +486,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument(
         "--trace", default="",
-        help="write a Chrome/Perfetto trace JSON of the timeline here",
+        help="write a Chrome/Perfetto trace JSON of the timeline here "
+             "(includes an optimizer-span track)",
     )
+    _add_metrics_out(simulate)
     simulate.set_defaults(func=cmd_simulate)
 
     cache = sub.add_parser(
@@ -284,12 +498,27 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument(
         "--clear", action="store_true", help="delete all cache entries"
     )
+    cache.add_argument(
+        "--stats", action="store_true",
+        help="per-kind entry counts/sizes and this-process hit/miss counters",
+    )
     cache.set_defaults(func=cmd_cache)
+
+    report = sub.add_parser(
+        "report", help="render a --metrics-out JSON dump as tables"
+    )
+    report.add_argument("metrics", help="path to a --metrics-out JSON file")
+    report.add_argument(
+        "--prometheus", action="store_true",
+        help="print the Prometheus text exposition format instead",
+    )
+    report.set_defaults(func=cmd_report)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(level=args.log_level, json_mode=args.log_json)
     return args.func(args)
 
 

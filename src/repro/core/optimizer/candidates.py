@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ...graph.operators import OperatorSpec
+from ...obs.metrics import counter
 from ..dims import ALL_DIMS, Dim
 from ..spec import PartitionSpec
 from ..space import enumerate_specs
@@ -170,6 +171,7 @@ def build_candidates(
             if current is None or costs[i] < costs[current]:
                 best_by_class[key] = i
         order = np.array(sorted(best_by_class.values()))
+    n_classes = len(order)
     if beam is not None and len(order) > beam:
         by_cost = order[np.argsort(costs[order], kind="stable")]
         keep = set(by_cost[:beam].tolist())
@@ -182,6 +184,14 @@ def build_candidates(
                 else best_by_class[boundary_class_key(op, specs[index])]
             )
         order = np.array(sorted(keep))
+    op_label = op.kind.name.lower()
+    counter("candidates.builds", op=op_label).inc()
+    counter("candidates.raw", op=op_label).inc(raw_size)
+    counter("candidates.kept", op=op_label).inc(len(order))
+    counter("candidates.pruned_equivalent", op=op_label).inc(
+        raw_size - n_classes
+    )
+    counter("candidates.beam_evicted", op=op_label).inc(n_classes - len(order))
     kept = [specs[i] for i in order]
     return CandidateSet(
         op=op,

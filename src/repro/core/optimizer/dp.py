@@ -15,9 +15,13 @@ from typing import Dict, List, Mapping, MutableMapping, Optional, Sequence, Tupl
 import numpy as np
 
 from ...graph.graph import ComputationGraph, Edge
+from ...obs.metrics import counter, histogram
 from ..cost.inter import InterOperatorCostModel
 from .candidates import CandidateSet
 from .segmenter import Segment
+
+#: Bucket bounds for the DP table-size histogram (cells per table).
+_TABLE_BUCKETS = (64, 256, 1024, 4096, 16384, 65536)
 
 #: Chunk width of the min-plus product — bounds peak memory of the
 #: (A x B x chunk) broadcast to a few MB.
@@ -125,6 +129,9 @@ def edge_cost_matrix(
         if memo is not None:
             key = (edge_signature(edge), src_set.cache_token, dst_set.cache_token)
             matrix = memo.get(key)
+            counter(
+                "dp.edge_memo", outcome="hit" if matrix is not None else "miss"
+            ).inc()
         if matrix is None:
             matrix = inter_model.cost_matrix(
                 edge,
@@ -154,6 +161,8 @@ def solve_segment(
     if len(names) == 1:
         cost = np.full((n_start, n_start), np.inf)
         np.fill_diagonal(cost, start_set.intra)
+        counter("dp.segments_solved").inc()
+        histogram("dp.table_cells", buckets=_TABLE_BUCKETS).observe(cost.size)
         return SegmentTable(start, start, names, cost)
     # C_{i,i}: only the start node, p_i = p_i.
     cost = np.full((n_start, n_start), np.inf)
@@ -170,6 +179,7 @@ def solve_segment(
             # missing edge contributes zero cost.
             edge_prev = np.zeros((len(candidates[previous]), len(node_set)))
         new_cost, arg = min_plus(table.cost, edge_prev)
+        counter("dp.states_expanded").inc(new_cost.size)
         new_cost += node_set.intra[None, :]
         if previous != start:
             edge_start = edge_cost_matrix(
@@ -181,4 +191,6 @@ def solve_segment(
         table.backpointers[name] = arg
         table.end = name
         previous = name
+    counter("dp.segments_solved").inc()
+    histogram("dp.table_cells", buckets=_TABLE_BUCKETS).observe(table.cost.size)
     return table

@@ -16,8 +16,10 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
+from ...obs.metrics import MetricsRegistry, get_registry, use_registry
+from ...obs.spans import SpanCollector, get_collector, span, use_collector
 from ..cost.intra import IntraOperatorCostModel
 from .candidates import CandidateSet, build_candidates
 
@@ -36,6 +38,25 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+def _telemetry_task(
+    payload: Tuple[Callable[[_T], _R], _T],
+) -> Tuple[_R, Dict[str, object], List[Dict[str, object]]]:
+    """Worker shim: run one task under fresh telemetry state.
+
+    A fresh registry/collector (rather than whatever the fork inherited)
+    captures exactly what this task did; the parent merges the snapshot
+    back in submission order, so counter and histogram values come out
+    identical to the serial path no matter which worker finishes first.
+    """
+    fn, item = payload
+    registry = MetricsRegistry()
+    collector = SpanCollector()
+    with use_registry(registry), use_collector(collector):
+        with span(getattr(fn, "__name__", "task")):
+            result = fn(item)
+    return result, registry.snapshot(), collector.export()
+
+
 def parallel_map(
     fn: Callable[[_T], _R], items: Sequence[_T], jobs: Optional[int]
 ) -> List[_R]:
@@ -43,12 +64,27 @@ def parallel_map(
 
     Results come back in input order — merging is order-independent by
     construction.  ``fn`` must be a module-level (picklable) callable.
+    Worker-side telemetry (counters, histograms, spans) is shipped back
+    with each result and merged into the parent's registry in submission
+    order, so fanned-out runs report the same metric values as serial ones.
     """
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        return list(pool.map(fn, items))
+    registry = get_registry()
+    collector = get_collector()
+    base = collector.now()
+    results: List[_R] = []
+    with span("parallel_map", tasks=len(items), jobs=jobs):
+        with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+            outcomes = list(
+                pool.map(_telemetry_task, [(fn, item) for item in items])
+            )
+        for index, (result, snapshot, spans) in enumerate(outcomes):
+            registry.merge_snapshot(snapshot)
+            collector.merge(spans, at=base, proc=f"worker{index}")
+            results.append(result)
+    return results
 
 
 def build_candidates_task(

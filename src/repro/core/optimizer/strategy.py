@@ -20,6 +20,8 @@ import numpy as np
 from ... import cache as diskcache
 from ...cluster.profiler import FabricProfiler
 from ...graph.graph import ComputationGraph
+from ...obs.metrics import delta_snapshots, get_registry
+from ...obs.spans import get_collector, span
 from ..cost.inter import InterOperatorCostModel
 from ..cost.intra import IntraOperatorCostModel
 from ..cost.memory import MemoryCostModel
@@ -43,6 +45,11 @@ class SearchResult:
         model_cost: Cost after layer stacking (when requested).
         stage_seconds: Wall-clock per pipeline stage (``candidates``,
             ``segment_dp``, ``merge``).
+        telemetry: Per-search snapshot from :mod:`repro.obs` — the metric
+            delta this search produced (``"metrics"``: counters, gauges,
+            histograms) and the timing spans it closed (``"spans"``).
+            Worker-process telemetry from ``jobs > 1`` fan-out is merged
+            in, so the values match the serial path.
     """
 
     plan: Dict[str, PartitionSpec]
@@ -51,6 +58,7 @@ class SearchResult:
     candidate_sizes: Dict[str, Tuple[int, int]] = field(default_factory=dict)
     model_cost: Optional[float] = None
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    telemetry: Dict[str, object] = field(default_factory=dict)
 
 
 class PrimeParOptimizer:
@@ -210,81 +218,94 @@ class PrimeParOptimizer:
         recursive doubling to produce the whole-model optimum cost.  The
         extracted plan is the steady-state layer plan.
         """
+        registry = get_registry()
+        collector = get_collector()
+        metrics_before = registry.snapshot()
+        span_mark = collector.mark()
         started = time.perf_counter()
-        candidates = self.candidates_for(graph)
-        candidates_done = time.perf_counter()
-        segmentation = segment_graph(graph)
-        tables: List[Union[SegmentTable, MergeTable]] = [
-            solve_segment(
-                graph, seg, candidates, self.inter_model,
-                edge_memo=self._edge_memo,
-            )
-            for seg in segmentation.segments
-        ]
-        segments_done = time.perf_counter()
-        # Cross-segment edges span exactly two adjacent segments (their
-        # source anchors the earlier one, paper Fig. 6's e_{0,7}); merge
-        # those pairs first so both endpoints are still table endpoints
-        # when the edge cost is added (Eq. 13), then chain-merge (Eq. 14).
-        paired: List[Union[SegmentTable, MergeTable]] = []
-        consumed = set()
-        i = 0
-        while i < len(tables):
-            pair_edges = []
-            if i + 1 < len(tables):
-                pair_edges = [
+        with span("search", nodes=len(graph.nodes), n_layers=n_layers,
+                  jobs=self.jobs):
+            with span("search.candidates"):
+                candidates = self.candidates_for(graph)
+            candidates_done = time.perf_counter()
+            with span("search.segment_dp"):
+                segmentation = segment_graph(graph)
+                tables: List[Union[SegmentTable, MergeTable]] = [
+                    solve_segment(
+                        graph, seg, candidates, self.inter_model,
+                        edge_memo=self._edge_memo,
+                    )
+                    for seg in segmentation.segments
+                ]
+            segments_done = time.perf_counter()
+            with span("search.merge", segments=len(tables)):
+                # Cross-segment edges span exactly two adjacent segments
+                # (their source anchors the earlier one, paper Fig. 6's
+                # e_{0,7}); merge those pairs first so both endpoints are
+                # still table endpoints when the edge cost is added
+                # (Eq. 13), then chain-merge (Eq. 14).
+                paired: List[Union[SegmentTable, MergeTable]] = []
+                consumed = set()
+                i = 0
+                while i < len(tables):
+                    pair_edges = []
+                    if i + 1 < len(tables):
+                        pair_edges = [
+                            e
+                            for e in segmentation.cross_edges
+                            if e.src == tables[i].start
+                            and e.dst == tables[i + 1].end
+                        ]
+                    if pair_edges:
+                        cross_cost = sum(
+                            edge_cost_matrix(
+                                graph, self.inter_model, candidates,
+                                e.src, e.dst, memo=self._edge_memo,
+                            )
+                            for e in pair_edges
+                        )
+                        consumed.update(e.key() for e in pair_edges)
+                        paired.append(
+                            merge_tables(
+                                tables[i],
+                                tables[i + 1],
+                                candidates[tables[i + 1].start].intra,
+                                cross_edge_cost=cross_cost,
+                            )
+                        )
+                        i += 2
+                    else:
+                        paired.append(tables[i])
+                        i += 1
+                missing = [
                     e
                     for e in segmentation.cross_edges
-                    if e.src == tables[i].start and e.dst == tables[i + 1].end
+                    if e.key() not in consumed
                 ]
-            if pair_edges:
-                cross_cost = sum(
-                    edge_cost_matrix(
-                        graph, self.inter_model, candidates, e.src, e.dst,
-                        memo=self._edge_memo,
+                if missing:
+                    raise ValueError(
+                        f"cross-segment edges not expressible by pairwise "
+                        f"merging: {[e.key() for e in missing]}"
                     )
-                    for e in pair_edges
-                )
-                consumed.update(e.key() for e in pair_edges)
-                paired.append(
-                    merge_tables(
-                        tables[i],
-                        tables[i + 1],
-                        candidates[tables[i + 1].start].intra,
-                        cross_edge_cost=cross_cost,
+                merged = paired[0]
+                for table in paired[1:]:
+                    merged = merge_tables(
+                        merged, table, candidates[table.start].intra
                     )
-                )
-                i += 2
-            else:
-                paired.append(tables[i])
-                i += 1
-        missing = [
-            e for e in segmentation.cross_edges if e.key() not in consumed
-        ]
-        if missing:
-            raise ValueError(
-                f"cross-segment edges not expressible by pairwise merging: "
-                f"{[e.key() for e in missing]}"
-            )
-        merged = paired[0]
-        for table in paired[1:]:
-            merged = merge_tables(
-                merged, table, candidates[table.start].intra
-            )
-        layer_cost = merged.cost
-        best_flat = int(np.argmin(layer_cost))
-        a, c = np.unravel_index(best_flat, layer_cost.shape)
-        assignment: Dict[str, int] = {}
-        merged.extract(int(a), int(c), assignment)
-        plan = {
-            name: candidates[name].specs[idx]
-            for name, idx in assignment.items()
-        }
-        model_cost = None
-        if n_layers > 1:
-            boundary_intra = candidates[merged.end].intra
-            stacked = stack_layers(merged, boundary_intra, n_layers)
-            model_cost = float(stacked.cost.min())
+                layer_cost = merged.cost
+                best_flat = int(np.argmin(layer_cost))
+                a, c = np.unravel_index(best_flat, layer_cost.shape)
+                assignment: Dict[str, int] = {}
+                merged.extract(int(a), int(c), assignment)
+                plan = {
+                    name: candidates[name].specs[idx]
+                    for name, idx in assignment.items()
+                }
+                model_cost = None
+                if n_layers > 1:
+                    boundary_intra = candidates[merged.end].intra
+                    stacked = stack_layers(merged, boundary_intra, n_layers)
+                    model_cost = float(stacked.cost.min())
         finished = time.perf_counter()
         return SearchResult(
             plan=plan,
@@ -299,5 +320,11 @@ class PrimeParOptimizer:
                 "candidates": candidates_done - started,
                 "segment_dp": segments_done - candidates_done,
                 "merge": finished - segments_done,
+            },
+            telemetry={
+                "metrics": delta_snapshots(
+                    metrics_before, registry.snapshot()
+                ),
+                "spans": collector.export(since=span_mark),
             },
         )

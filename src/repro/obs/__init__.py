@@ -1,0 +1,88 @@
+"""Unified telemetry: metrics registry, timing spans, structured logging.
+
+``repro.obs`` is the dependency-free observability layer under every other
+subsystem (it imports nothing from the rest of the package):
+
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry` of
+  counters, gauges and histograms with labels, exportable as schema-stable
+  JSON and Prometheus text format.  Instrumented code reaches the *current*
+  registry through :func:`counter`/:func:`gauge`/:func:`histogram`, so
+  worker processes can swap in a fresh one and ship their delta back.
+* :mod:`repro.obs.spans` — :func:`span`, a context manager producing nested
+  wall-clock timing spans into a thread-safe :class:`SpanCollector`;
+  :meth:`SpanCollector.merge` re-bases spans exported by child processes so
+  ``repro.core.optimizer.parallel`` fan-out appears inside the parent's
+  timeline.
+* :mod:`repro.obs.logsetup` — :func:`configure_logging`, structured (plain
+  or JSON-lines) logging for the ``repro`` logger tree, honouring the
+  ``PRIMEPAR_LOG_LEVEL`` / ``PRIMEPAR_LOG_JSON`` environment knobs.
+
+:func:`metrics_document` bundles the registry snapshot with every collected
+span — the payload behind ``primepar ... --metrics-out`` and the
+``primepar report`` subcommand.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from .logsetup import configure_logging, get_logger
+from .metrics import (
+    MetricsRegistry,
+    counter,
+    delta_snapshots,
+    gauge,
+    get_registry,
+    histogram,
+    use_registry,
+)
+from .spans import Span, SpanCollector, get_collector, span, use_collector
+
+#: Schema version of the ``--metrics-out`` / ``primepar report`` document.
+METRICS_SCHEMA = 1
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "Span",
+    "SpanCollector",
+    "configure_logging",
+    "counter",
+    "delta_snapshots",
+    "gauge",
+    "get_collector",
+    "get_logger",
+    "get_registry",
+    "histogram",
+    "metrics_document",
+    "span",
+    "use_collector",
+    "use_registry",
+    "write_metrics",
+]
+
+
+def metrics_document(
+    registry: Optional[MetricsRegistry] = None,
+    collector: Optional[SpanCollector] = None,
+) -> Dict[str, object]:
+    """The full telemetry state as one schema-stable JSON-ready document."""
+    registry = registry if registry is not None else get_registry()
+    collector = collector if collector is not None else get_collector()
+    document = {"schema": METRICS_SCHEMA}
+    document.update(registry.snapshot())
+    document["spans"] = collector.export()
+    return document
+
+
+def write_metrics(
+    path: str,
+    registry: Optional[MetricsRegistry] = None,
+    collector: Optional[SpanCollector] = None,
+) -> Dict[str, object]:
+    """Dump :func:`metrics_document` as JSON at ``path``; returns it."""
+    document = metrics_document(registry, collector)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+    return document

@@ -1,0 +1,101 @@
+"""Structured logging for the ``repro`` logger tree.
+
+One call to :func:`configure_logging` attaches a single handler to the
+``repro`` root logger (replacing any previous one — the call is
+idempotent) with either a human-readable line format or JSON lines, and
+stops propagation so host applications keep control of their own root
+logger.  Diagnostics go to *stderr*; stdout stays reserved for result
+tables (:mod:`repro.reporting`).
+
+Environment defaults, read when the CLI does not pass explicit flags:
+
+* ``PRIMEPAR_LOG_LEVEL`` — ``debug`` / ``info`` / ``warning`` / ``error``
+  (default ``warning`` so library use stays quiet);
+* ``PRIMEPAR_LOG_JSON`` — ``1``/``true`` switches to JSON lines.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import logging
+import os
+import sys
+from typing import IO, Optional
+
+_ENV_LEVEL = "PRIMEPAR_LOG_LEVEL"
+_ENV_JSON = "PRIMEPAR_LOG_JSON"
+_TRUE_VALUES = {"1", "true", "yes", "on"}
+
+LEVELS = ("debug", "info", "warning", "error")
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, message."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": datetime.datetime.fromtimestamp(
+                record.created, tz=datetime.timezone.utc
+            ).isoformat(timespec="milliseconds"),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+class TextFormatter(logging.Formatter):
+    """``HH:MM:SS.mmm LEVEL logger: message`` — compact terminal lines."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            fmt="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+            datefmt="%H:%M:%S",
+        )
+
+
+def env_level(default: str = "warning") -> str:
+    """Log level from ``PRIMEPAR_LOG_LEVEL`` (validated, else ``default``)."""
+    value = os.environ.get(_ENV_LEVEL, "").strip().lower()
+    return value if value in LEVELS else default
+
+
+def env_json(default: bool = False) -> bool:
+    """JSON-lines switch from ``PRIMEPAR_LOG_JSON``."""
+    value = os.environ.get(_ENV_JSON, "").strip().lower()
+    return value in _TRUE_VALUES if value else default
+
+
+def configure_logging(
+    level: Optional[str] = None,
+    json_mode: Optional[bool] = None,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """(Re)configure the ``repro`` logger tree; returns its root logger.
+
+    Args:
+        level: One of :data:`LEVELS`; ``None`` reads ``PRIMEPAR_LOG_LEVEL``.
+        json_mode: Emit JSON lines; ``None`` reads ``PRIMEPAR_LOG_JSON``.
+        stream: Destination (default ``sys.stderr``).
+    """
+    level = (level or env_level()).lower()
+    if level not in LEVELS:
+        raise ValueError(f"unknown log level {level!r}; expected {LEVELS}")
+    json_mode = env_json() if json_mode is None else json_mode
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_mode else TextFormatter())
+    root = logging.getLogger("repro")
+    root.handlers = [handler]
+    root.setLevel(level.upper())
+    root.propagate = False
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` tree (``get_logger("cli")``)."""
+    if name == "repro" or name.startswith("repro."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")

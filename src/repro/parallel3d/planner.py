@@ -23,6 +23,8 @@ from ..core.spec import PartitionSpec
 from ..graph.models import ModelConfig
 from ..graph.tensors import DTYPE_BYTES
 from ..graph.transformer import build_block_graph
+from ..obs.metrics import counter
+from ..obs.spans import span
 from ..sim.executor import TrainingSimulator
 from .pipeline import (
     PipelinePlan,
@@ -142,6 +144,11 @@ class Planner3D:
 
         key = (method, m, micro)
         cached = self._plan_cache.get(key)
+        counter(
+            "sweep.plan_cache",
+            outcome="hit" if cached is not None else "miss",
+            method=method,
+        ).inc()
         if cached is not None:
             return cached
         topology = self._stage_topology(m)
@@ -246,29 +253,38 @@ class Planner3D:
             for config in enumerate_configs(self.n_devices)
             if config.data <= self.global_batch
         ]
-        if jobs > 1:
-            pending: List[Tuple[str, int, int]] = []
+        with span(
+            "sweep", method=method, configs=len(configs), jobs=jobs,
+            devices=self.n_devices,
+        ):
+            if jobs > 1:
+                pending: List[Tuple[str, int, int]] = []
+                for config in configs:
+                    key = (
+                        method, config.model,
+                        self._microbatch_for(config.data),
+                    )
+                    if key not in self._plan_cache and key not in pending:
+                        pending.append(key)
+                if pending:
+                    payloads = [(self, key) for key in pending]
+                    for key, outcome in zip(
+                        pending, parallel_map(_plan_task, payloads, jobs)
+                    ):
+                        status, value = outcome
+                        if status == "ok":
+                            self._plan_cache[key] = value
+                        # "error": leave the key absent so simulate() raises
+                        # the same ValueError the serial path would, and the
+                        # config is skipped identically.
+            results = []
             for config in configs:
-                key = (method, config.model, self._microbatch_for(config.data))
-                if key not in self._plan_cache and key not in pending:
-                    pending.append(key)
-            if pending:
-                payloads = [(self, key) for key in pending]
-                for key, outcome in zip(
-                    pending, parallel_map(_plan_task, payloads, jobs)
-                ):
-                    status, value = outcome
-                    if status == "ok":
-                        self._plan_cache[key] = value
-                    # "error": leave the key absent so simulate() raises the
-                    # same ValueError the serial path would, and the config
-                    # is skipped identically.
-        results = []
-        for config in configs:
-            try:
-                results.append(self.simulate(config, method))
-            except ValueError:
-                continue
+                try:
+                    results.append(self.simulate(config, method))
+                except ValueError:
+                    counter("sweep.configs", outcome="skipped").inc()
+                    continue
+                counter("sweep.configs", outcome="evaluated").inc()
         return results
 
 

@@ -1,1 +1,5 @@
-"""Benchmark output: ASCII tables and figure series."""
+"""Benchmark output: ASCII tables, figure series and the stdout sink."""
+
+from .tables import Figure, FigureSeries, emit, format_table
+
+__all__ = ["Figure", "FigureSeries", "emit", "format_table"]

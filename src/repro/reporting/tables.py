@@ -6,8 +6,21 @@ report; these helpers keep the formatting consistent and dependency-free.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Sequence
+
+
+def emit(*lines: object) -> None:
+    """Write result lines to stdout.
+
+    The single sanctioned stdout sink: diagnostics go through the
+    structured logger (``repro.obs``) to stderr, results and tables go
+    here, and the no-``print`` lint (``tools/lint_no_print.py``) holds
+    every other module to that split.
+    """
+    for line in lines:
+        sys.stdout.write(f"{line}\n")
 
 
 def format_table(

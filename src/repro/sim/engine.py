@@ -43,7 +43,10 @@ from ..core.cost.inter import InterOperatorCostModel
 from ..core.cost.memory import MemoryCostModel
 from ..core.spec import PartitionSpec
 from ..graph.graph import ComputationGraph
-from .executor import IterationReport, samples_per_second
+from ..obs.metrics import counter, gauge
+from ..obs.spans import span
+from .executor import IterationReport, build_utilization, samples_per_second
+from .memory_tracker import track_iteration
 from .timeline import KernelRecord, Timeline
 
 
@@ -85,12 +88,14 @@ class StreamResource:
 class _SharedLink:
     """A bandwidth-sharing fabric resource (e.g. one node's NIC pool)."""
 
-    __slots__ = ("key", "capacity", "flows")
+    __slots__ = ("key", "capacity", "flows", "bytes_total")
 
     def __init__(self, key: str, capacity: float) -> None:
         self.key = key
         self.capacity = capacity
         self.flows: set = set()
+        #: Bytes of every transfer routed through this resource.
+        self.bytes_total = 0.0
 
 
 class _Flow:
@@ -274,6 +279,13 @@ class KernelGraph:
         makespan = max((k.end_time for k in self.kernels if k.finished), default=0.0)
         return Timeline(records=records, clock=makespan)
 
+    def link_stats(self) -> Dict[str, Tuple[float, float]]:
+        """Per shared-link ``(bytes transferred, capacity bytes/s)``."""
+        return {
+            key: (link.bytes_total, link.capacity)
+            for key, link in self._links.items()
+        }
+
     # ------------------------------------------------------------------
     # kernel lifecycle
     # ------------------------------------------------------------------
@@ -325,12 +337,10 @@ class KernelGraph:
         if n_bytes <= 0:
             self._finish(kernel)
             return
-        flow = _Flow(
-            kernel,
-            n_bytes,
-            path.stream_bandwidth,
-            [self._link(key, cap) for key, cap in path.shared],
-        )
+        resources = [self._link(key, cap) for key, cap in path.shared]
+        for resource in resources:
+            resource.bytes_total += n_bytes
+        flow = _Flow(kernel, n_bytes, path.stream_bandwidth, resources)
         # The per-message latency is a serial prelude before bytes flow.
         self.engine.schedule(
             self.engine.now + path.latency, lambda: self._activate(flow)
@@ -406,6 +416,17 @@ class EventDrivenSimulator:
         global_batch: int,
     ) -> IterationReport:
         """Simulate one iteration of ``graph`` under ``plan`` event-driven."""
+        with span(
+            "sim.run", engine="event", devices=self.topology.n_devices
+        ):
+            return self._run(graph, plan, global_batch)
+
+    def _run(
+        self,
+        graph: ComputationGraph,
+        plan: Mapping[str, PartitionSpec],
+        global_batch: int,
+    ) -> IterationReport:
         kg = KernelGraph()
         n_devices = self.topology.n_devices
         streams = [kg.stream(f"dev{r}") for r in range(n_devices)]
@@ -445,12 +466,25 @@ class EventDrivenSimulator:
         peak = self.memory.plan_memory(
             (node, plan[node.name]) for node in graph.nodes
         )
+        watermark = track_iteration(graph, plan, self.memory)
+        counter("sim.kernels_executed", engine="event").inc(len(kg.kernels))
+        gauge("sim.peak_memory_bytes").track_max(peak)
         return IterationReport(
             latency=latency,
             throughput=samples_per_second(global_batch, latency),
             peak_memory_bytes=peak,
             breakdown=self._breakdown(timeline, latency),
             timeline=timeline,
+            utilization=build_utilization(
+                timeline,
+                latency,
+                link_stats=kg.link_stats(),
+                memory_watermark={
+                    "peak_bytes": watermark.peak,
+                    "composition": watermark.composition_at_peak(),
+                },
+                engine="event",
+            ),
         )
 
     def run_model(

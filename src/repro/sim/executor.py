@@ -12,9 +12,10 @@ throughput, latency breakdown (Fig. 2a / Fig. 9) and per-device peak memory
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 from ..cluster.profiler import FabricProfiler
+from ..obs.metrics import counter, gauge
 from ..core.dims import Phase
 from ..core.cost.communication import CommunicationCostModel
 from ..core.cost.compute import ComputeCostModel
@@ -22,12 +23,70 @@ from ..core.cost.inter import InterOperatorCostModel
 from ..core.cost.memory import MemoryCostModel
 from ..core.spec import PartitionSpec
 from ..graph.graph import ComputationGraph
+from .memory_tracker import track_iteration
 from .timeline import Timeline
 
 
 def samples_per_second(global_batch: int, latency: float) -> float:
     """Training throughput with a single guard against zero latency."""
     return global_batch / latency if latency > 0 else float("inf")
+
+
+def device_busy_fractions(timeline: Timeline) -> Dict[int, float]:
+    """Fraction of the iteration each device's stream spends occupied.
+
+    Overlapped ring transfers do not occupy a stream; everything else
+    (compute, all-reduce, redistribution, exposed ring time) does.
+    """
+    busy: Dict[int, float] = {}
+    for record in timeline.records:
+        if not record.overlapped:
+            busy[record.device] = busy.get(record.device, 0.0) + record.duration
+    if timeline.clock <= 0:
+        return {device: 0.0 for device in sorted(busy)}
+    return {device: busy[device] / timeline.clock for device in sorted(busy)}
+
+
+def build_utilization(
+    timeline: Timeline,
+    latency: float,
+    link_stats: Optional[Mapping[str, Tuple[float, float]]] = None,
+    memory_watermark: Optional[Mapping[str, object]] = None,
+    engine: str = "analytic",
+) -> Dict[str, object]:
+    """Assemble an :attr:`IterationReport.utilization` payload.
+
+    Also records the quantities into the current metrics registry:
+    per-device busy fractions and link utilisations as gauges, per-link
+    bytes as counters, and the memory watermark as a high-watermark gauge.
+    """
+    busy = device_busy_fractions(timeline)
+    util: Dict[str, object] = {
+        "engine": engine,
+        "device_busy_fraction": {str(d): f for d, f in busy.items()},
+    }
+    counter("sim.iterations", engine=engine).inc()
+    for device, fraction in busy.items():
+        gauge("sim.device_busy_fraction", device=device).set(fraction)
+    if link_stats:
+        link_bytes = {}
+        link_util = {}
+        for key in sorted(link_stats):
+            n_bytes, capacity = link_stats[key]
+            link_bytes[key] = n_bytes
+            share = (
+                n_bytes / (capacity * latency)
+                if capacity > 0 and latency > 0
+                else 0.0
+            )
+            link_util[key] = share
+            counter("sim.link_bytes", link=key).inc(n_bytes)
+            gauge("sim.link_utilization", link=key).set(share)
+        util["link_bytes"] = link_bytes
+        util["link_utilization"] = link_util
+    if memory_watermark is not None:
+        util["memory_watermark"] = dict(memory_watermark)
+    return util
 
 
 def replicate_timeline(timeline: Timeline, n_layers: int) -> Timeline:
@@ -60,6 +119,10 @@ class IterationReport:
             ``layers_scaled`` layers — whole-model reports tile the
             single-layer schedule per layer.
         layers_scaled: Number of identical layers this report covers.
+        utilization: Cluster utilisation summary (per-device busy
+            fractions, per-link bytes and utilisation, memory watermark)
+            — see :func:`build_utilization`.  ``None`` for reports built
+            before telemetry was wired in.
     """
 
     latency: float
@@ -68,6 +131,7 @@ class IterationReport:
     breakdown: Dict[str, float]
     timeline: Timeline
     layers_scaled: int = 1
+    utilization: Optional[Dict[str, object]] = None
 
     @property
     def collective_latency(self) -> float:
@@ -88,6 +152,27 @@ class IterationReport:
         if n_layers <= 1:
             return self
         latency = self.latency * n_layers
+        utilization = None
+        if self.utilization is not None:
+            # Busy and utilisation fractions are layer-invariant (the
+            # schedule tiles); byte totals and memory grow per layer.
+            utilization = dict(self.utilization)
+            if "link_bytes" in utilization:
+                utilization["link_bytes"] = {
+                    k: v * n_layers
+                    for k, v in utilization["link_bytes"].items()
+                }
+            if "memory_watermark" in utilization:
+                watermark = dict(utilization["memory_watermark"])
+                watermark["peak_bytes"] = (
+                    watermark.get("peak_bytes", 0.0) * n_layers
+                )
+                if "composition" in watermark:
+                    watermark["composition"] = {
+                        k: v * n_layers
+                        for k, v in watermark["composition"].items()
+                    }
+                utilization["memory_watermark"] = watermark
         return IterationReport(
             latency=latency,
             throughput=samples_per_second(global_batch, latency),
@@ -95,6 +180,7 @@ class IterationReport:
             breakdown={k: v * n_layers for k, v in self.breakdown.items()},
             timeline=replicate_timeline(self.timeline, n_layers),
             layers_scaled=n_layers,
+            utilization=utilization,
         )
 
 
@@ -162,12 +248,22 @@ class TrainingSimulator:
             r.duration for r in timeline.records if r.overlapped
         )
         latency = timeline.clock
+        watermark = track_iteration(graph, plan, self.memory)
         return IterationReport(
             latency=latency,
             throughput=samples_per_second(global_batch, latency),
             peak_memory_bytes=peak,
             breakdown=breakdown,
             timeline=timeline,
+            utilization=build_utilization(
+                timeline,
+                latency,
+                memory_watermark={
+                    "peak_bytes": watermark.peak,
+                    "composition": watermark.composition_at_peak(),
+                },
+                engine="analytic",
+            ),
         )
 
     def _run_phase(

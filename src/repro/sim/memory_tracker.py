@@ -15,6 +15,7 @@ from typing import Dict, List, Mapping, Tuple
 from ..core.cost.memory import MemoryCostModel
 from ..core.spec import PartitionSpec
 from ..graph.graph import ComputationGraph
+from ..obs.metrics import counter, gauge
 
 
 @dataclass(frozen=True)
@@ -81,4 +82,8 @@ def track_iteration(
         timeline.record(node.name, "stash", stash[node.name])
     for node in reversed(graph.nodes):  # Backward + Gradient sweep
         timeline.record(node.name, "stash", -stash[node.name])
+    counter("memory.iterations_tracked").inc()
+    gauge("memory.watermark_bytes").track_max(timeline.peak)
+    for kind, resident in timeline.composition_at_peak().items():
+        gauge("memory.watermark_kind_bytes", kind=kind).track_max(resident)
     return timeline

@@ -15,12 +15,17 @@ Layout:
   the overlapped-communication track;
 * ``ts``/``dur`` — microseconds (trace-event convention; the simulator's
   clock is seconds).
+
+Optimizer spans (``repro.obs.spans`` exports) ride along on a dedicated
+``pid`` (:data:`SPAN_PID`) so one Perfetto view shows the strategy search
+(wall-clock) next to the simulated execution it produced; worker-process
+spans merged by ``parallel_map`` get their own thread rows.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..cluster.topology import ClusterTopology
 from .timeline import Timeline
@@ -28,18 +33,79 @@ from .timeline import Timeline
 #: Seconds -> trace-event microseconds.
 _US = 1e6
 
+#: Process id of the optimizer-span track — far above any simulated node.
+SPAN_PID = 1000
+
 
 def _track_of(device: int, overlapped: bool) -> int:
     return 2 * device + (1 if overlapped else 0)
 
 
+def span_events(
+    spans: Sequence[Mapping[str, object]],
+) -> List[Dict[str, object]]:
+    """Optimizer spans as complete trace events on the :data:`SPAN_PID` track.
+
+    Spans from the main process share thread 0; spans merged from each
+    worker process land on their own thread so fan-out is visible.
+    """
+    events: List[Dict[str, object]] = []
+    tids: Dict[str, int] = {}
+    for entry in spans:
+        if entry["duration"] <= 0:
+            continue
+        proc = str(entry.get("proc", "main"))
+        tid = tids.setdefault(proc, len(tids))
+        events.append(
+            {
+                "name": entry["name"],
+                "cat": "span",
+                "ph": "X",
+                "ts": entry["start"] * _US,
+                "dur": entry["duration"] * _US,
+                "pid": SPAN_PID,
+                "tid": tid,
+                "args": {
+                    "path": entry["path"],
+                    "proc": proc,
+                    **dict(entry.get("attrs", {})),
+                },
+            }
+        )
+    metadata: List[Dict[str, object]] = []
+    if events:
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": SPAN_PID,
+                "tid": 0,
+                "args": {"name": "optimizer (search spans)"},
+            }
+        )
+        for proc, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+            metadata.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": SPAN_PID,
+                    "tid": tid,
+                    "args": {"name": f"spans {proc}"},
+                }
+            )
+    return metadata + events
+
+
 def timeline_to_trace(
-    timeline: Timeline, topology: Optional[ClusterTopology] = None
+    timeline: Timeline,
+    topology: Optional[ClusterTopology] = None,
+    spans: Optional[Sequence[Mapping[str, object]]] = None,
 ) -> Dict[str, object]:
     """A Chrome trace-event document for ``timeline``.
 
     Returns the ``{"traceEvents": [...]}`` object form with process/thread
-    name metadata plus one complete (``ph="X"``) event per kernel record.
+    name metadata plus one complete (``ph="X"``) event per kernel record;
+    ``spans`` adds the optimizer-span track (:func:`span_events`).
     """
     events: List[Dict[str, object]] = []
     seen_tracks: Dict[int, int] = {}  # tid -> device
@@ -90,16 +156,22 @@ def timeline_to_trace(
                 "args": {"name": f"dev{device} {kind}"},
             }
         )
+    trace_events = metadata + events
+    if spans:
+        trace_events += span_events(spans)
     return {
-        "traceEvents": metadata + events,
+        "traceEvents": trace_events,
         "displayTimeUnit": "ms",
         "otherData": {"clock": timeline.clock * _US},
     }
 
 
 def write_trace(
-    path: str, timeline: Timeline, topology: Optional[ClusterTopology] = None
+    path: str,
+    timeline: Timeline,
+    topology: Optional[ClusterTopology] = None,
+    spans: Optional[Sequence[Mapping[str, object]]] = None,
 ) -> None:
-    """Serialise ``timeline`` as Chrome trace JSON at ``path``."""
+    """Serialise ``timeline`` (plus optimizer ``spans``) as trace JSON."""
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(timeline_to_trace(timeline, topology), fh, indent=1)
+        json.dump(timeline_to_trace(timeline, topology, spans=spans), fh, indent=1)

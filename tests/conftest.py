@@ -28,6 +28,22 @@ def _hermetic_cache(tmp_path_factory):
         os.environ["PRIMEPAR_CACHE_DIR"] = saved
 
 
+@pytest.fixture(autouse=True)
+def _restore_repro_logger():
+    """Undo ``repro.obs.configure_logging`` side effects after each test.
+
+    The CLI sets ``propagate=False`` on the ``repro`` logger; left in
+    place, that would blind ``caplog`` (which captures at the root
+    logger) for every test that runs afterwards.
+    """
+    import logging
+
+    logger = logging.getLogger("repro")
+    saved = (logger.handlers[:], logger.propagate, logger.level)
+    yield
+    logger.handlers[:], logger.propagate, logger.level = saved
+
+
 @pytest.fixture(scope="session")
 def topo4():
     return v100_cluster(4)

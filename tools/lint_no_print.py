@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Fail on bare ``print(...)`` calls under ``src/repro/``.
+
+The telemetry layer splits output streams: diagnostics go through the
+structured logger (``repro.obs``, stderr) and result tables go through
+``repro.reporting.tables.emit`` (the one sanctioned stdout sink).  A bare
+``print`` dodges both, so CI runs this lint.
+
+AST-based, so docstrings and comments that merely mention ``print(`` do
+not trip it.  ``src/repro/reporting/`` is allowlisted — it owns stdout.
+
+Usage::
+
+    python tools/lint_no_print.py [ROOT]
+
+Exit status 1 if any violation is found, listing each as
+``path:line:col``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Directories (relative to the scanned root) allowed to touch stdout.
+ALLOWLIST = ("reporting",)
+
+
+def violations_in(path: Path) -> list:
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    found = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            found.append((path, node.lineno, node.col_offset))
+    return found
+
+
+def main(argv: list) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path("src/repro")
+    if not root.is_dir():
+        sys.stderr.write(f"lint_no_print: no such directory {root}\n")
+        return 2
+    failures = []
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(root)
+        if relative.parts and relative.parts[0] in ALLOWLIST:
+            continue
+        failures.extend(violations_in(path))
+    for path, line, col in failures:
+        sys.stderr.write(
+            f"{path}:{line}:{col}: bare print() — use "
+            f"repro.reporting.emit() for results or repro.obs.get_logger() "
+            f"for diagnostics\n"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
