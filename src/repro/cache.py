@@ -1,8 +1,10 @@
 """Persistent on-disk cache for expensive search artefacts.
 
 Repeated benchmark and CLI invocations redo identical work: candidate-set
-enumeration + intra costing per operator type, and the profiler's
-least-squares model fits.  Both are pure functions of their inputs, so the
+enumeration + intra costing per operator type, the profiler's
+least-squares model fits, and simulation replays (``simreport`` entries
+via :mod:`repro.sim.simcache`, ``pipesim`` entries for event-driven
+pipeline schedules).  All are pure functions of their inputs, so the
 results are stored on disk keyed by a content hash of everything that can
 influence them (model shape, topology, alpha, beam, schema version, ...).
 

@@ -251,7 +251,20 @@ def cmd_simulate(args) -> int:
         "simulating %s plan on the %s engine (%d devices, %d layers)",
         args.plan, args.engine, args.devices, n_layers,
     )
-    report = simulator.run_model(graph, plan, batch, n_layers)
+    if args.profile:
+        import cProfile
+
+        prof = cProfile.Profile()
+        prof.enable()
+        try:
+            report = simulator.run_model(graph, plan, batch, n_layers)
+        finally:
+            prof.disable()
+            prof.dump_stats(args.profile)
+        logger.info("cProfile stats written to %s", args.profile)
+        emit(f"cProfile stats written to {args.profile}")
+    else:
+        report = simulator.run_model(graph, plan, batch, n_layers)
     emit(
         f"{args.engine} engine: {model.name}, {args.devices} devices, "
         f"batch {batch}, {n_layers} layers",
@@ -488,6 +501,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default="",
         help="write a Chrome/Perfetto trace JSON of the timeline here "
              "(includes an optimizer-span track)",
+    )
+    simulate.add_argument(
+        "--profile", default="", metavar="PATH",
+        help="profile the simulation with cProfile and dump pstats here "
+             "(inspect with `python -m pstats PATH`)",
     )
     _add_metrics_out(simulate)
     simulate.set_defaults(func=cmd_simulate)

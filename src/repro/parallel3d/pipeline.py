@@ -148,6 +148,8 @@ def pipeline_iteration_events(
     stage_backward: float,
     boundary_bytes: float,
     link: LinkSpec,
+    graph_factory=None,
+    use_disk_cache: bool = True,
 ) -> PipelineReport:
     """Event-driven replay of a pipeline schedule on the simulation engine.
 
@@ -157,12 +159,37 @@ def pipeline_iteration_events(
     instead of trusting the closed form.  For uniform stage times both
     schedules reproduce ``(m + p - 1)(t_f + t_b) + 2 (p - 1) hop`` exactly;
     the event path additionally yields a per-stage :class:`Timeline`.
+
+    The replay is a pure function of its arguments, so the report is
+    memoized through :mod:`repro.cache` (``PRIMEPAR_CACHE*`` knobs apply);
+    a pickled report round-trips bit-exactly.  ``graph_factory`` swaps in
+    an alternative kernel-DAG executor (the golden regression suite passes
+    the frozen pre-optimisation engine) and disables memoization.
     """
     from ..sim.engine import KernelGraph  # local: keep import DAG shallow
+    from .. import cache as diskcache
+    from ..obs.metrics import counter
 
     p, m = plan.n_stages, plan.n_microbatches
     hop = link.transfer_time(boundary_bytes) if p > 1 else 0.0
-    kg = KernelGraph()
+
+    key = None
+    if graph_factory is None and use_disk_cache:
+        try:
+            key = diskcache.content_key(
+                "pipesim", 1, plan, stage_forward, stage_backward,
+                boundary_bytes, link,
+            )
+        except TypeError:
+            key = None
+    if key is not None:
+        cached = diskcache.load("pipesim", key)
+        if isinstance(cached, PipelineReport):
+            counter("sim.pipe_cache", outcome="hit").inc()
+            return cached
+        counter("sim.pipe_cache", outcome="miss").inc()
+
+    kg = (graph_factory or KernelGraph)()
     streams = [kg.stream(f"stage{s}") for s in range(p)]
     work: Dict[Tuple[str, int, int], object] = {}
     # Pass 1: enqueue stage kernels in schedule order (stream order is
@@ -206,10 +233,13 @@ def pipeline_iteration_events(
     makespan = kg.execute()
     slot = stage_forward + stage_backward
     exposed_comm = 2 * (p - 1) * hop
-    return PipelineReport(
+    report = PipelineReport(
         iteration_latency=makespan,
         bubble_latency=makespan - m * slot - exposed_comm,
         communication_latency=exposed_comm,
         stage_latency=slot,
         timeline=kg.timeline(),
     )
+    if key is not None:
+        diskcache.store("pipesim", key, report)
+    return report

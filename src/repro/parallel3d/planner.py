@@ -244,8 +244,13 @@ class Planner3D:
 
         With ``jobs > 1`` (default: the planner's ``jobs``) the distinct
         per-``(m, micro)`` tensor-parallel plan searches fan out over a
-        process pool first; results are merged back into the plan cache by
-        configuration key, so the sweep's output is identical to serial.
+        process pool first and are merged back into the plan cache by
+        configuration key; the per-configuration simulations then fan out
+        over the same pool.  Results (and telemetry, via the workers'
+        registry snapshots) merge in submission order, so the sweep's
+        output is identical to serial — and, through the simulation disk
+        cache (``PRIMEPAR_CACHE*``), warm re-sweeps skip the event loops
+        entirely.
         """
         jobs = self.jobs if jobs is None else resolve_jobs(jobs)
         configs = [
@@ -278,13 +283,24 @@ class Planner3D:
                         # the same ValueError the serial path would, and the
                         # config is skipped identically.
             results = []
-            for config in configs:
-                try:
-                    results.append(self.simulate(config, method))
-                except ValueError:
-                    counter("sweep.configs", outcome="skipped").inc()
-                    continue
-                counter("sweep.configs", outcome="evaluated").inc()
+            if jobs > 1 and len(configs) > 1:
+                payloads = [(self, config, method) for config in configs]
+                for status, value in parallel_map(
+                    _simulate_task, payloads, jobs
+                ):
+                    if status == "ok":
+                        results.append(value)
+                        counter("sweep.configs", outcome="evaluated").inc()
+                    else:
+                        counter("sweep.configs", outcome="skipped").inc()
+            else:
+                for config in configs:
+                    try:
+                        results.append(self.simulate(config, method))
+                    except ValueError:
+                        counter("sweep.configs", outcome="skipped").inc()
+                        continue
+                    counter("sweep.configs", outcome="evaluated").inc()
         return results
 
 
@@ -298,5 +314,22 @@ def _plan_task(payload: Tuple["Planner3D", Tuple[str, int, int]]) -> Tuple[str, 
     planner, (method, m, micro) = payload
     try:
         return ("ok", planner._plan_for(method, m, micro))
+    except ValueError as exc:
+        return ("error", str(exc))
+
+
+def _simulate_task(
+    payload: Tuple["Planner3D", Config3D, str]
+) -> Tuple[str, object]:
+    """Worker: simulate one 3D configuration.
+
+    The planner arrives with its plan cache pre-populated (the sweep
+    prefetches plan searches first), so this is pure simulation.  Returns
+    ``("ok", Result3D)`` or ``("error", message)``; errors are counted as
+    skipped configurations by the parent, exactly like the serial path.
+    """
+    planner, config, method = payload
+    try:
+        return ("ok", planner.simulate(config, method))
     except ValueError as exc:
         return ("error", str(exc))

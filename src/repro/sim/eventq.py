@@ -1,0 +1,117 @@
+"""Indexed lazy-deletion event queue for the discrete-event engine.
+
+The fluid-flow contention model reschedules a transfer's completion every
+time its fair-share rate changes.  A plain ``heapq`` accumulates one stale
+entry per reschedule and filters them with per-flow generation counters —
+O(total reschedules) heap growth and churn.  :class:`IndexedEventQueue`
+keeps exactly one *live* entry per slot:
+
+* ``schedule`` pushes ``(when, seq, slot)`` and records the pair as the
+  slot's live entry;
+* ``reschedule`` overwrites the slot's live entry and pushes the new pair —
+  the superseded heap tuple is recognised (and dropped in O(1)) when it
+  surfaces, so a reschedule is O(log n) with no per-flow bookkeeping in the
+  callbacks;
+* ``cancel`` clears the live entry; freed slot ids are reused by later
+  ``schedule`` calls, keeping the slot table dense.
+
+Determinism contract (relied on by trace byte-stability tests): events with
+equal timestamps fire in *submission order* — ``seq`` is a single monotonic
+counter and every ``schedule``/``reschedule`` draws a fresh value, so a
+rescheduled event orders after anything submitted earlier at the same
+timestamp.  The ordering is a pure function of the call sequence; no object
+identities or hash ordering are involved.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+#: One scheduled callback; ``None`` durations never enter the queue.
+_Callback = Callable[[], None]
+
+
+class IndexedEventQueue:
+    """A binary heap of ``(when, seq, slot)`` with O(log n) reschedule.
+
+    Attributes:
+        pushes: Total heap insertions (telemetry).
+        stale_drops: Superseded entries dropped on surfacing (telemetry).
+    """
+
+    __slots__ = (
+        "_heap", "_seq", "_live", "_callbacks", "_free", "_next_slot",
+        "pushes", "stale_drops",
+    )
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, int]] = []
+        self._seq = itertools.count()
+        #: slot -> live ``(when, seq)`` key, or absent when cancelled/fired.
+        self._live: dict = {}
+        self._callbacks: dict = {}
+        self._free: List[int] = []
+        self._next_slot = 0
+        self.pushes = 0
+        self.stale_drops = 0
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def _claim_slot(self) -> int:
+        if self._free:
+            return self._free.pop()
+        slot = self._next_slot
+        self._next_slot += 1
+        return slot
+
+    def schedule(self, when: float, callback: _Callback) -> int:
+        """Enqueue ``callback`` at ``when``; returns the slot token."""
+        slot = self._claim_slot()
+        key = (when, next(self._seq))
+        self._live[slot] = key
+        self._callbacks[slot] = callback
+        heapq.heappush(self._heap, (when, key[1], slot))
+        self.pushes += 1
+        return slot
+
+    def reschedule(self, slot: int, when: float) -> None:
+        """Move a pending event to ``when`` (new seq: orders as a fresh
+        submission among equal timestamps, matching the pre-PR engine's
+        last-reschedule-wins generation semantics)."""
+        if slot not in self._live:
+            raise KeyError(f"slot {slot} has no pending event")
+        key = (when, next(self._seq))
+        self._live[slot] = key
+        heapq.heappush(self._heap, (when, key[1], slot))
+        self.pushes += 1
+
+    def cancel(self, slot: int) -> None:
+        """Drop a pending event; its heap entries die lazily."""
+        self._live.pop(slot, None)
+        self._callbacks.pop(slot, None)
+        self._free.append(slot)
+
+    def peek_time(self) -> Optional[float]:
+        """Earliest live event time, or ``None`` when empty."""
+        while self._heap:
+            when, seq, slot = self._heap[0]
+            if self._live.get(slot) == (when, seq):
+                return when
+            heapq.heappop(self._heap)
+            self.stale_drops += 1
+        return None
+
+    def pop(self) -> Tuple[float, _Callback]:
+        """Remove and return the earliest live ``(when, callback)``."""
+        while self._heap:
+            when, seq, slot = heapq.heappop(self._heap)
+            if self._live.get(slot) == (when, seq):
+                callback = self._callbacks.pop(slot)
+                del self._live[slot]
+                self._free.append(slot)
+                return when, callback
+            self.stale_drops += 1
+        raise IndexError("pop from an empty event queue")

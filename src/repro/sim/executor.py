@@ -32,19 +32,53 @@ def samples_per_second(global_batch: int, latency: float) -> float:
     return global_batch / latency if latency > 0 else float("inf")
 
 
-def device_busy_fractions(timeline: Timeline) -> Dict[int, float]:
+def device_busy_fractions(
+    timeline: Timeline,
+    busy_seconds: Optional[Mapping[int, float]] = None,
+) -> Dict[int, float]:
     """Fraction of the iteration each device's stream spends occupied.
 
     Overlapped ring transfers do not occupy a stream; everything else
     (compute, all-reduce, redistribution, exposed ring time) does.
+
+    ``busy_seconds`` supplies per-device occupied seconds accumulated
+    online during simulation (see
+    :meth:`~repro.sim.engine.KernelGraph.device_busy_seconds`), skipping
+    the timeline scan; each device's kernels are serial, so the online
+    sum adds the same durations in the same order and the fractions are
+    bit-identical to the scan.
     """
-    busy: Dict[int, float] = {}
-    for record in timeline.records:
-        if not record.overlapped:
-            busy[record.device] = busy.get(record.device, 0.0) + record.duration
+    if busy_seconds is not None:
+        busy: Dict[int, float] = dict(busy_seconds)
+    else:
+        busy = {}
+        for record in timeline.records:
+            if not record.overlapped:
+                busy[record.device] = (
+                    busy.get(record.device, 0.0) + record.duration
+                )
     if timeline.clock <= 0:
         return {device: 0.0 for device in sorted(busy)}
     return {device: busy[device] / timeline.clock for device in sorted(busy)}
+
+
+def record_utilization_metrics(util: Mapping[str, object]) -> None:
+    """Record a utilization payload into the current metrics registry.
+
+    Factored out of :func:`build_utilization` so a disk-cached
+    :class:`IterationReport` can replay the same counter increments and
+    gauge writes as the simulation it stands in for (label values are
+    stringified by the registry, so emitting from the payload's string
+    keys lands on the same series).
+    """
+    engine = util.get("engine", "analytic")
+    counter("sim.iterations", engine=engine).inc()
+    for device, fraction in util.get("device_busy_fraction", {}).items():
+        gauge("sim.device_busy_fraction", device=device).set(fraction)
+    link_bytes = util.get("link_bytes", {})
+    for key, share in util.get("link_utilization", {}).items():
+        counter("sim.link_bytes", link=key).inc(link_bytes.get(key, 0.0))
+        gauge("sim.link_utilization", link=key).set(share)
 
 
 def build_utilization(
@@ -53,21 +87,19 @@ def build_utilization(
     link_stats: Optional[Mapping[str, Tuple[float, float]]] = None,
     memory_watermark: Optional[Mapping[str, object]] = None,
     engine: str = "analytic",
+    busy_seconds: Optional[Mapping[int, float]] = None,
 ) -> Dict[str, object]:
     """Assemble an :attr:`IterationReport.utilization` payload.
 
-    Also records the quantities into the current metrics registry:
-    per-device busy fractions and link utilisations as gauges, per-link
-    bytes as counters, and the memory watermark as a high-watermark gauge.
+    Also records the quantities into the current metrics registry (via
+    :func:`record_utilization_metrics`): per-device busy fractions and
+    link utilisations as gauges, per-link bytes as counters.
     """
-    busy = device_busy_fractions(timeline)
+    busy = device_busy_fractions(timeline, busy_seconds)
     util: Dict[str, object] = {
         "engine": engine,
         "device_busy_fraction": {str(d): f for d, f in busy.items()},
     }
-    counter("sim.iterations", engine=engine).inc()
-    for device, fraction in busy.items():
-        gauge("sim.device_busy_fraction", device=device).set(fraction)
     if link_stats:
         link_bytes = {}
         link_util = {}
@@ -80,12 +112,11 @@ def build_utilization(
                 else 0.0
             )
             link_util[key] = share
-            counter("sim.link_bytes", link=key).inc(n_bytes)
-            gauge("sim.link_utilization", link=key).set(share)
         util["link_bytes"] = link_bytes
         util["link_utilization"] = link_util
     if memory_watermark is not None:
         util["memory_watermark"] = dict(memory_watermark)
+    record_utilization_metrics(util)
     return util
 
 
@@ -185,18 +216,27 @@ class IterationReport:
 
 
 class TrainingSimulator:
-    """Replays partition plans on the simulated cluster."""
+    """Replays partition plans on the simulated cluster.
+
+    Args:
+        profiler: Fabric profiler providing the cluster and cost models.
+        memory_model: Memory cost model (paper defaults when omitted).
+        use_disk_cache: Memoize whole-model reports through
+            :mod:`repro.sim.simcache` (noise-free profilers only).
+    """
 
     def __init__(
         self,
         profiler: FabricProfiler,
         memory_model: Optional[MemoryCostModel] = None,
+        use_disk_cache: bool = True,
     ) -> None:
         self.profiler = profiler
         self.compute = ComputeCostModel(profiler.topology.device)
         self.communication = CommunicationCostModel(profiler)
         self.inter = InterOperatorCostModel(profiler)
         self.memory = memory_model or MemoryCostModel()
+        self.use_disk_cache = use_disk_cache
 
     # ------------------------------------------------------------------
     # single iteration
@@ -294,6 +334,29 @@ class TrainingSimulator:
         Transformer models stack identical blocks, so latency, breakdown
         and memory scale linearly in the layer count (the SPMD plan
         repeats per layer); the timeline is tiled to cover every layer.
+
+        The single-layer report is memoized on disk (see
+        :mod:`repro.sim.simcache`); a hit replays the metrics the
+        simulation would have recorded, then rescales as usual.
         """
+        from . import simcache
+
+        key = (
+            simcache.report_key(
+                "analytic", self.profiler, graph, plan, global_batch, 1,
+                self.memory,
+            )
+            if self.use_disk_cache
+            else None
+        )
+        if key is not None:
+            entry = simcache.load(key, "analytic")
+            if entry is not None:
+                single = entry["report"]
+                if single.utilization is not None:
+                    record_utilization_metrics(single.utilization)
+                return single.scaled_to_layers(n_layers, global_batch)
         single = self.run(graph, plan, global_batch)
+        if key is not None:
+            simcache.store(key, "analytic", single, True)
         return single.scaled_to_layers(n_layers, global_batch)

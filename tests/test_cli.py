@@ -106,3 +106,41 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "analytic engine" in out
+
+    def test_simulate_profile_writes_pstats(self, capsys, tmp_path):
+        import pstats
+
+        profile_path = tmp_path / "sim.pstats"
+        code = main(
+            [
+                "simulate", "--model", "opt-6.7b", "--devices", "4",
+                "--batch", "8", "--layers", "2", "--plan", "megatron",
+                "--profile", str(profile_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"cProfile stats written to {profile_path}" in out
+        stats = pstats.Stats(str(profile_path))
+        assert stats.total_calls > 0
+
+    def test_simulate_metrics_out_has_engine_counters(
+        self, capsys, tmp_path
+    ):
+        """Splice, report-cache and event-queue counters reach the dump."""
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "simulate", "--model", "opt-6.7b", "--devices", "4",
+                "--batch", "8", "--layers", "2", "--plan", "megatron",
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        doc = json.loads(metrics_path.read_text())
+        names = {entry["name"] for entry in doc["counters"]}
+        assert "sim.splice" in names
+        assert "sim.queue_pushes" in names
+        assert "sim.contention_flushes" in names
+        assert "sim.report_cache" in names

@@ -134,3 +134,32 @@ class TestWriteTrace:
         assert events
         # The analytic path is a single serial SPMD stream: device 0 only.
         assert {e["tid"] for e in events} <= {0, 1}
+
+
+class TestByteStability:
+    def test_identical_runs_write_identical_bytes(self, profiler4, topo4, tmp_path):
+        """Two fresh simulations of one scenario must serialise to the same
+        bytes — the engine is deterministic (events tie-break by submission
+        order, flows by activation order) and the exporter adds nothing
+        run-dependent."""
+        fc = OperatorSpec(
+            name="fc",
+            kind=OpKind.LINEAR,
+            dim_axes={
+                Dim.B: ("batch",),
+                Dim.M: ("seq",),
+                Dim.K: ("hidden",),
+                Dim.N: ("ffn",),
+            },
+            axis_sizes={"batch": 8, "seq": 256, "hidden": 2048, "ffn": 8192},
+        )
+        graph = ComputationGraph(nodes=[fc], edges=[])
+        plan = {"fc": PartitionSpec.from_string("P2x2", 2)}
+        paths = []
+        for run in range(2):
+            sim = EventDrivenSimulator(profiler4, use_disk_cache=False)
+            report = sim.run(graph, plan, 8)
+            path = tmp_path / f"trace{run}.json"
+            write_trace(str(path), report.timeline, topo4)
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
