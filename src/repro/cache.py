@@ -16,6 +16,11 @@ than silently hashed.  Values are pickled together with
 disk, are deleted and recomputed with a logged warning — they never crash a
 search.
 
+:class:`MemoryLRU` is the in-process companion tier: a bounded,
+thread-safe LRU of live objects that the serving daemon
+(:mod:`repro.serve`) layers in front of this disk cache so hot plans are
+answered without touching the filesystem.
+
 Environment knobs:
 
 * ``PRIMEPAR_CACHE_DIR`` — cache directory (default
@@ -32,10 +37,12 @@ import logging
 import os
 import pickle
 import tempfile
+import threading
+from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
-from .obs.metrics import counter
+from .obs.metrics import counter, gauge
 
 logger = logging.getLogger(__name__)
 
@@ -211,6 +218,95 @@ def total_bytes() -> int:
     if not directory.is_dir():
         return 0
     return sum(path.stat().st_size for path in directory.glob("*.pkl"))
+
+
+class MemoryLRU:
+    """Bounded in-memory LRU tier, layerable in front of the disk cache.
+
+    Holds live Python objects (no pickling on the hot path), evicting the
+    least-recently-used entry once ``max_entries`` is reached.  All
+    operations are thread-safe — the serving daemon shares one instance
+    across request threads.  Traffic is instrumented in the current
+    metrics registry under ``<namespace>.hits`` / ``.misses`` /
+    ``.evictions`` (counters) and ``<namespace>.entries`` / ``.bytes``
+    (gauges); :meth:`stats` reports the same numbers for this instance
+    alone (registry counters aggregate across instances of a namespace).
+
+    Entry sizes are estimated by pickling the value once on ``put``
+    (unpicklable values count as size 0 rather than failing).
+    """
+
+    def __init__(self, max_entries: int, namespace: str = "memlru") -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.namespace = namespace
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Tuple[Any, int]]" = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached value (refreshing its recency), or ``None`` on miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                counter(f"{self.namespace}.misses").inc()
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            counter(f"{self.namespace}.hits").inc()
+            return entry[0]
+
+    def put(self, key: str, value: Any, size: Optional[int] = None) -> None:
+        """Insert/refresh ``key``; evicts the LRU entry beyond capacity."""
+        if size is None:
+            try:
+                size = len(pickle.dumps(value, pickle.HIGHEST_PROTOCOL))
+            except Exception:
+                size = 0
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._bytes -= previous[1]
+            self._entries[key] = (value, size)
+            self._bytes += size
+            while len(self._entries) > self.max_entries:
+                _, (_, evicted_size) = self._entries.popitem(last=False)
+                self._bytes -= evicted_size
+                self._evictions += 1
+                counter(f"{self.namespace}.evictions").inc()
+            gauge(f"{self.namespace}.entries").set(len(self._entries))
+            gauge(f"{self.namespace}.bytes").set(self._bytes)
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were held."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._bytes = 0
+            gauge(f"{self.namespace}.entries").set(0)
+            gauge(f"{self.namespace}.bytes").set(0)
+            return dropped
+
+    def stats(self) -> Dict[str, int]:
+        """This instance's lifetime traffic and current occupancy."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_entries": self.max_entries,
+            }
 
 
 def stats_by_kind() -> Dict[str, Tuple[int, int]]:

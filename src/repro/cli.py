@@ -7,6 +7,7 @@ Installed as the ``primepar`` console script::
     primepar compare  --model bloom-176b --devices 16 --batch 16
     primepar sweep3d  --model llama2-70b --devices 32 --batch 32
     primepar simulate --model opt-6.7b --devices 8 --engine event --trace out.json
+    primepar serve    --port 8780 --max-concurrent 2 --lru-size 256
     primepar report   metrics.json
 
 Global observability flags: ``--log-level``/``--log-json`` configure the
@@ -293,6 +294,36 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .serve.server import PlanServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_concurrent=args.max_concurrent,
+        queue_depth=args.queue_depth,
+        lru_size=args.lru_size,
+        deadline=args.deadline,
+        jobs=args.jobs,
+        drain_timeout=args.drain_timeout,
+    )
+    server = PlanServer(config).start()
+    emit(f"serving on http://{server.host}:{server.port}")
+    if args.port_file:
+        with open(args.port_file, "w", encoding="utf-8") as handle:
+            handle.write(f"{server.port}\n")
+        logger.info("bound port written to %s", args.port_file)
+    logger.info(
+        "serve knobs: max_concurrent=%d queue_depth=%d lru_size=%d "
+        "deadline=%.1fs jobs=%d",
+        config.max_concurrent, config.queue_depth, config.lru_size,
+        config.deadline, config.jobs,
+    )
+    code = server.run_until_signal()
+    emit("server stopped" + ("" if code == 0 else " (drain timed out)"))
+    return code
+
+
 def cmd_cache(args) -> int:
     from . import cache as diskcache
 
@@ -340,6 +371,24 @@ def cmd_cache(args) -> int:
                 title="this-process cache traffic",
             )
         )
+        from .serve.store import default_store
+
+        lru = default_store().stats()
+        emit(
+            format_table(
+                ["hits", "misses", "evictions", "entries", "bytes"],
+                [
+                    [
+                        str(lru["hits"]),
+                        str(lru["misses"]),
+                        str(lru["evictions"]),
+                        f"{lru['entries']}/{lru['max_entries']}",
+                        str(lru["bytes"]),
+                    ]
+                ],
+                title="in-memory plan store (this process)",
+            )
+        )
     return 0
 
 
@@ -385,6 +434,60 @@ def _labels_text(labels) -> str:
     return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
 
 
+def _cache_tier_table(document) -> str:
+    """Disk vs in-memory cache-tier summary, or ``""`` when untouched.
+
+    The disk tier aggregates the per-kind ``cache.*`` counters; the
+    memory tier is the serving daemon's ``plan_store.*`` family.
+    """
+
+    def counter_total(name: str) -> float:
+        return sum(
+            e["value"]
+            for e in document.get("counters", ())
+            if e["name"] == name
+        )
+
+    def gauge_value(name: str) -> float:
+        for e in document.get("gauges", ()):
+            if e["name"] == name:
+                return e["value"]
+        return 0.0
+
+    disk = [counter_total(f"cache.{c}") for c in ("hits", "misses", "stores")]
+    memory = [
+        counter_total(f"plan_store.{c}")
+        for c in ("hits", "misses", "evictions")
+    ]
+    if not any(disk) and not any(memory):
+        return ""
+    rows = [
+        [
+            "memory (LRU)",
+            f"{memory[0]:g}",
+            f"{memory[1]:g}",
+            f"{memory[2]:g}",
+            "-",
+            f"{gauge_value('plan_store.entries'):g}",
+            f"{gauge_value('plan_store.bytes'):g}",
+        ],
+        [
+            "disk",
+            f"{disk[0]:g}",
+            f"{disk[1]:g}",
+            "-",
+            f"{disk[2]:g}",
+            "-",
+            "-",
+        ],
+    ]
+    return format_table(
+        ["tier", "hits", "misses", "evictions", "stores", "entries", "bytes"],
+        rows,
+        title="cache tiers",
+    )
+
+
 def cmd_report(args) -> int:
     with open(args.metrics, "r", encoding="utf-8") as handle:
         document = json.load(handle)
@@ -393,6 +496,9 @@ def cmd_report(args) -> int:
         registry.merge_snapshot(document)
         emit(registry.to_prometheus().rstrip("\n"))
         return 0
+    tiers = _cache_tier_table(document)
+    if tiers:
+        emit(tiers, "")
     counters = document.get("counters", [])
     if counters:
         rows = [
@@ -509,6 +615,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_metrics_out(simulate)
     simulate.set_defaults(func=cmd_simulate)
+
+    serve = sub.add_parser(
+        "serve", help="run the plan-serving HTTP daemon"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8780,
+        help="TCP port; 0 picks an ephemeral one (default 8780)",
+    )
+    serve.add_argument(
+        "--max-concurrent", type=int, default=2,
+        help="searches/simulations allowed to run at once (default 2)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=8,
+        help="requests allowed to wait for a slot before 429 (default 8)",
+    )
+    serve.add_argument(
+        "--lru-size", type=int, default=256,
+        help="in-memory plan store capacity in entries (default 256)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=120.0,
+        help="default per-request budget in seconds; requests may tighten "
+             "but not extend it (0 = unbounded, default 120)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes each admitted search may use "
+             "(1 = serial, 0 = all cores)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0,
+        help="seconds to wait for in-flight requests on shutdown (default 10)",
+    )
+    serve.add_argument(
+        "--port-file", default="", metavar="PATH",
+        help="write the bound port here once listening (for scripts/CI)",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the persistent search cache"

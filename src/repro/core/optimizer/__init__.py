@@ -1,1 +1,5 @@
 """Segmented dynamic programming (paper Sec. 5) and reference solvers."""
+
+from .deadline import Deadline, SearchDeadlineExceeded, check_deadline
+
+__all__ = ["Deadline", "SearchDeadlineExceeded", "check_deadline"]

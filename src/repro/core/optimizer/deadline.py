@@ -1,0 +1,60 @@
+"""Cooperative wall-clock deadlines for cancellable searches.
+
+A search admitted by the serving daemon (:mod:`repro.serve`) carries a
+per-request time budget.  The segmented-DP pipeline cannot be preempted
+mid-numpy-kernel, but its stages are short relative to any realistic
+budget, so cancellation is *cooperative*: :meth:`Deadline.check` is called
+at stage boundaries (candidate resolution, each segment solve, each merge
+step) and raises :class:`SearchDeadlineExceeded` the first time the budget
+has run out.  The exception carries the stage it fired in, so callers can
+report *where* the budget went.
+
+Deadlines are measured on the monotonic clock and are safe to share across
+threads (they hold only an immutable expiry instant).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class SearchDeadlineExceeded(RuntimeError):
+    """A search overran its wall-clock budget and was abandoned."""
+
+    def __init__(self, stage: str, budget: float) -> None:
+        super().__init__(
+            f"search deadline of {budget:.3f}s exceeded during {stage!r}"
+        )
+        self.stage = stage
+        self.budget = budget
+
+
+class Deadline:
+    """A wall-clock budget, checked cooperatively at stage boundaries."""
+
+    __slots__ = ("budget", "_expires")
+
+    def __init__(self, seconds: float) -> None:
+        if seconds <= 0:
+            raise ValueError(f"deadline must be positive, got {seconds}")
+        self.budget = float(seconds)
+        self._expires = time.monotonic() + self.budget
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self._expires - time.monotonic()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, stage: str = "search") -> None:
+        """Raise :class:`SearchDeadlineExceeded` if the budget is spent."""
+        if self.expired():
+            raise SearchDeadlineExceeded(stage, self.budget)
+
+
+def check_deadline(deadline: Optional[Deadline], stage: str) -> None:
+    """``deadline.check(stage)`` that tolerates ``deadline=None``."""
+    if deadline is not None:
+        deadline.check(stage)

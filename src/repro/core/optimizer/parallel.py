@@ -10,6 +10,13 @@ worker finishes first.
 Workers must receive picklable payloads; everything in the search stack
 (operators, specs, profilers, fitted models) is plain dataclasses/numpy and
 pickles cleanly.
+
+Interrupts (Ctrl-C, a serving daemon draining on SIGTERM) hard-stop the
+pool instead of waiting for queued work: pending tasks are cancelled,
+running workers are terminated and reaped, and the interrupt propagates.
+The disk cache stays intact — :func:`repro.cache.store` writes via
+temp-file + atomic rename, so a worker killed mid-store leaves at worst an
+orphaned ``*.tmp`` file, never a corrupt entry.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
+from ...obs.logsetup import get_logger
 from ...obs.metrics import MetricsRegistry, get_registry, use_registry
 from ...obs.spans import SpanCollector, get_collector, span, use_collector
 from ..cost.intra import IntraOperatorCostModel
@@ -25,6 +33,8 @@ from .candidates import CandidateSet, build_candidates
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+logger = get_logger("core.optimizer.parallel")
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -76,15 +86,51 @@ def parallel_map(
     base = collector.now()
     results: List[_R] = []
     with span("parallel_map", tasks=len(items), jobs=jobs):
-        with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(items)))
+        try:
             outcomes = list(
                 pool.map(_telemetry_task, [(fn, item) for item in items])
             )
+        except BaseException:
+            _terminate_pool(pool)
+            raise
+        pool.shutdown()
         for index, (result, snapshot, spans) in enumerate(outcomes):
             registry.merge_snapshot(snapshot)
             collector.merge(spans, at=base, proc=f"worker{index}")
             results.append(result)
     return results
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Hard-stop a pool whose results will never be consumed.
+
+    ``ProcessPoolExecutor``'s context manager *waits* for all submitted
+    work on exit, so a ``KeyboardInterrupt`` (or a serving daemon's drain)
+    would block until every queued search task finished — and an interrupt
+    delivered only to the parent would leave workers running after it
+    died.  Cancel what has not started, terminate what has, and reap the
+    workers so none leak.
+    """
+    # Snapshot the workers first: shutdown() clears ``_processes`` even
+    # with ``wait=False``, which would leave nothing to terminate.
+    process_map = getattr(pool, "_processes", None) or {}
+    processes = list(process_map.values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    for process in processes:
+        try:
+            process.join(timeout=5.0)
+        except Exception:
+            pass
+    logger.warning(
+        "parallel_map interrupted: cancelled pending tasks, terminated "
+        "%d worker(s)", len(processes),
+    )
 
 
 def build_candidates_task(

@@ -27,6 +27,7 @@ from ..cost.intra import IntraOperatorCostModel
 from ..cost.memory import MemoryCostModel
 from ..spec import PartitionSpec
 from .candidates import CandidateSet, build_candidates, type_key
+from .deadline import Deadline, check_deadline
 from .dp import SegmentTable, edge_cost_matrix, solve_segment
 from .merge import MergeTable, merge_tables, stack_layers
 from .parallel import build_candidates_task, parallel_map, resolve_jobs
@@ -140,12 +141,18 @@ class PrimeParOptimizer:
         except TypeError:
             return None
 
-    def candidates_for(self, graph: ComputationGraph) -> Dict[str, CandidateSet]:
+    def candidates_for(
+        self,
+        graph: ComputationGraph,
+        deadline: Optional[Deadline] = None,
+    ) -> Dict[str, CandidateSet]:
         """Candidate sets per node, shared across same-type nodes.
 
         Resolution order per operator type: in-memory cache, then the
         persistent disk cache, then a build — serial, or fanned out over a
-        process pool (one task per missing type) when ``jobs > 1``.
+        process pool (one task per missing type) when ``jobs > 1``.  A
+        ``deadline`` is checked between per-type builds (and before the
+        fan-out), never mid-build.
         """
         n_bits = self.profiler.topology.n_bits
         keyed_nodes: Dict[Tuple, object] = {}
@@ -168,6 +175,7 @@ class PrimeParOptimizer:
                     continue
             misses.append((key, node, disk_key))
         if misses:
+            check_deadline(deadline, "candidates")
             # Fan out only when fits cannot depend on RNG draw order.
             jobs = self.jobs if self.profiler.noise == 0.0 else 1
             if jobs > 1 and len(misses) > 1:
@@ -186,17 +194,19 @@ class PrimeParOptimizer:
                 ]
                 built = parallel_map(build_candidates_task, payloads, jobs)
             else:
-                built = [
-                    build_candidates(
-                        node,
-                        n_bits,
-                        self.intra_model,
-                        include_temporal=self.include_temporal,
-                        partition_batch=self.partition_batch,
-                        beam=self.beam,
+                built = []
+                for _, node, _ in misses:
+                    check_deadline(deadline, "candidates")
+                    built.append(
+                        build_candidates(
+                            node,
+                            n_bits,
+                            self.intra_model,
+                            include_temporal=self.include_temporal,
+                            partition_batch=self.partition_batch,
+                            beam=self.beam,
+                        )
                     )
-                    for _, node, _ in misses
-                ]
             for (key, _, disk_key), candidate_set in zip(misses, built):
                 self._candidate_cache[key] = candidate_set
                 if disk_key is not None:
@@ -210,13 +220,22 @@ class PrimeParOptimizer:
     # ------------------------------------------------------------------
 
     def optimize(
-        self, graph: ComputationGraph, n_layers: int = 1
+        self,
+        graph: ComputationGraph,
+        n_layers: int = 1,
+        deadline: Optional[Deadline] = None,
     ) -> SearchResult:
         """Find the optimal plan for ``graph`` (one layer stack instance).
 
         ``n_layers > 1`` additionally stacks the (single-layer) table by
         recursive doubling to produce the whole-model optimum cost.  The
         extracted plan is the steady-state layer plan.
+
+        ``deadline`` makes the search cancellable: it is checked
+        cooperatively at every stage boundary (candidate resolution, each
+        segment solve, each merge) and, once expired, the search raises
+        :class:`~repro.core.optimizer.deadline.SearchDeadlineExceeded`
+        instead of returning.  A completed search is never affected.
         """
         registry = get_registry()
         collector = get_collector()
@@ -225,18 +244,21 @@ class PrimeParOptimizer:
         started = time.perf_counter()
         with span("search", nodes=len(graph.nodes), n_layers=n_layers,
                   jobs=self.jobs):
+            check_deadline(deadline, "start")
             with span("search.candidates"):
-                candidates = self.candidates_for(graph)
+                candidates = self.candidates_for(graph, deadline=deadline)
             candidates_done = time.perf_counter()
             with span("search.segment_dp"):
                 segmentation = segment_graph(graph)
-                tables: List[Union[SegmentTable, MergeTable]] = [
-                    solve_segment(
-                        graph, seg, candidates, self.inter_model,
-                        edge_memo=self._edge_memo,
+                tables: List[Union[SegmentTable, MergeTable]] = []
+                for seg in segmentation.segments:
+                    check_deadline(deadline, "segment_dp")
+                    tables.append(
+                        solve_segment(
+                            graph, seg, candidates, self.inter_model,
+                            edge_memo=self._edge_memo,
+                        )
                     )
-                    for seg in segmentation.segments
-                ]
             segments_done = time.perf_counter()
             with span("search.merge", segments=len(tables)):
                 # Cross-segment edges span exactly two adjacent segments
@@ -248,6 +270,7 @@ class PrimeParOptimizer:
                 consumed = set()
                 i = 0
                 while i < len(tables):
+                    check_deadline(deadline, "merge")
                     pair_edges = []
                     if i + 1 < len(tables):
                         pair_edges = [
@@ -289,6 +312,7 @@ class PrimeParOptimizer:
                     )
                 merged = paired[0]
                 for table in paired[1:]:
+                    check_deadline(deadline, "merge")
                     merged = merge_tables(
                         merged, table, candidates[table.start].intra
                     )

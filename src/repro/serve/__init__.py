@@ -1,0 +1,53 @@
+"""Plan-serving daemon: the optimizer as a long-lived, multi-client system.
+
+``primepar serve`` turns the batch search CLI into an HTTP/JSON service
+(stdlib only — ``ThreadingHTTPServer``) built from four composable layers:
+
+* :mod:`repro.serve.store` — :class:`PlanStore`, a bounded in-memory LRU
+  (:class:`repro.cache.MemoryLRU`) layered over the content-hashed disk
+  cache, shared by every request thread;
+* :mod:`repro.serve.singleflight` — :class:`SingleFlight`, coalescing
+  identical in-flight requests onto a single search;
+* :mod:`repro.serve.admission` — :class:`AdmissionController`, bounding
+  concurrent searches and queue depth (429/503 + ``Retry-After``);
+* :mod:`repro.serve.service` / :mod:`repro.serve.server` — the
+  transport-free request brain and the HTTP front-end with graceful
+  SIGTERM/SIGINT drain.
+
+:mod:`repro.serve.client` is the typed stdlib client used by the tests and
+``benchmarks/bench_serve.py``.
+"""
+
+from .admission import AdmissionController, AdmissionRejected
+from .client import (
+    PlanClient,
+    SearchRequest,
+    SearchResponse,
+    ServeError,
+    SimulateRequest,
+    SimulateResponse,
+)
+from .server import PlanServer, ServeConfig
+from .service import PlanService, RequestError, SearchParams
+from .singleflight import SingleFlight
+from .store import PlanStore, default_store, reset_default_store
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "PlanClient",
+    "PlanServer",
+    "PlanService",
+    "PlanStore",
+    "RequestError",
+    "SearchParams",
+    "SearchRequest",
+    "SearchResponse",
+    "ServeConfig",
+    "ServeError",
+    "SimulateRequest",
+    "SimulateResponse",
+    "SingleFlight",
+    "default_store",
+    "reset_default_store",
+]

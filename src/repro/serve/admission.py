@@ -1,0 +1,130 @@
+"""Admission control: bounded concurrency plus a bounded wait queue.
+
+A plan search saturates cores for seconds; letting every request run one
+melts the box and makes *all* requests slow.  The controller enforces two
+bounds:
+
+* at most ``max_concurrent`` computations hold a slot at once (a
+  ``BoundedSemaphore`` — searches queue behind it);
+* at most ``max_queue`` requests may be waiting for a slot.  A request
+  beyond both bounds is refused *immediately* with HTTP 429 semantics
+  rather than queued into unbounded latency.
+
+A queued request that cannot start before its own deadline gives up with
+503 semantics.  Both rejections carry a ``Retry-After`` hint so
+well-behaved clients back off.
+
+Gauges ``serve.active`` / ``serve.queued`` track occupancy; rejections are
+counted under ``serve.rejected{reason=...}``.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from ..obs.metrics import counter, gauge
+
+NAMESPACE = "serve"
+
+
+class AdmissionRejected(Exception):
+    """A request the controller refused; maps onto an HTTP response."""
+
+    def __init__(self, status: int, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
+class AdmissionController:
+    """Gate CPU-heavy work behind ``max_concurrent`` slots + a short queue.
+
+    Args:
+        max_concurrent: Computations allowed to run simultaneously.
+        max_queue: Requests allowed to wait for a slot; the next one is
+            refused with 429 (queue full).
+        retry_after: The ``Retry-After`` hint (seconds) attached to
+            rejections.
+    """
+
+    def __init__(
+        self,
+        max_concurrent: int = 2,
+        max_queue: int = 8,
+        retry_after: float = 1.0,
+    ) -> None:
+        if max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self.retry_after = retry_after
+        self._slots = threading.BoundedSemaphore(max_concurrent)
+        self._lock = threading.Lock()
+        self._waiting = 0
+        self._active = 0
+
+    @property
+    def active(self) -> int:
+        with self._lock:
+            return self._active
+
+    @property
+    def waiting(self) -> int:
+        with self._lock:
+            return self._waiting
+
+    @contextmanager
+    def admit(self, timeout: Optional[float] = None) -> Iterator[None]:
+        """Hold one execution slot for the duration of the ``with`` block.
+
+        Raises :class:`AdmissionRejected` with status 429 when every slot
+        is busy and the wait queue is already full, or 503 when no slot
+        frees up within ``timeout`` seconds (``None`` waits indefinitely).
+        A free slot is always taken immediately — the queue bound only
+        applies to requests that would actually have to wait.
+        """
+        acquired = self._slots.acquire(blocking=False)
+        if acquired:
+            with self._lock:
+                self._active += 1
+                gauge(f"{NAMESPACE}.active").set(self._active)
+        else:
+            with self._lock:
+                if self._waiting >= self.max_queue:
+                    counter(f"{NAMESPACE}.rejected", reason="queue_full").inc()
+                    raise AdmissionRejected(
+                        429,
+                        f"admission queue full ({self._waiting} waiting, "
+                        f"{self._active} active)",
+                        self.retry_after,
+                    )
+                self._waiting += 1
+                gauge(f"{NAMESPACE}.queued").set(self._waiting)
+            if timeout is not None and timeout <= 0:
+                acquired = self._slots.acquire(blocking=False)
+            else:
+                acquired = self._slots.acquire(timeout=timeout)
+            with self._lock:
+                self._waiting -= 1
+                gauge(f"{NAMESPACE}.queued").set(self._waiting)
+                if acquired:
+                    self._active += 1
+                    gauge(f"{NAMESPACE}.active").set(self._active)
+        if not acquired:
+            counter(f"{NAMESPACE}.rejected", reason="timeout").inc()
+            raise AdmissionRejected(
+                503,
+                f"no execution slot within {timeout:.3f}s",
+                self.retry_after,
+            )
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._active -= 1
+                gauge(f"{NAMESPACE}.active").set(self._active)
+            self._slots.release()

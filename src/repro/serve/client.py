@@ -1,0 +1,210 @@
+"""Typed stdlib client for the plan-serving daemon.
+
+Thin ``urllib.request`` wrapper used by the test suite and the closed-loop
+load benchmark — no third-party HTTP stack.  Server-side rejections
+(400/404/429/503) surface as :class:`ServeError` carrying the HTTP status,
+the server's error message, and the parsed ``Retry-After`` hint.
+
+::
+
+    client = PlanClient("http://127.0.0.1:8780")
+    response = client.search(SearchRequest(model="opt-6.7b", devices=8))
+    assert response.source in ("computed", "memory", "disk", "coalesced")
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+DEFAULT_TIMEOUT = 300.0
+
+
+class ServeError(Exception):
+    """An HTTP error response from the daemon."""
+
+    def __init__(
+        self, status: int, message: str, retry_after: Optional[float] = None
+    ) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+
+
+@dataclass
+class SearchRequest:
+    """Body of ``POST /v1/search`` (defaults mirror the server's)."""
+
+    model: str = "opt-6.7b"
+    devices: int = 8
+    batch: int = 0
+    alpha: float = 2e-11
+    beam: int = 0
+    include_temporal: bool = True
+    #: Per-request wall-clock budget in seconds (0 = the server default).
+    deadline: float = 0.0
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "model": self.model,
+            "devices": self.devices,
+            "batch": self.batch,
+            "alpha": self.alpha,
+            "beam": self.beam,
+            "include_temporal": self.include_temporal,
+            "deadline": self.deadline,
+        }
+
+
+@dataclass
+class SearchResponse:
+    """A plan payload: the searched plan plus cache/coalescing provenance."""
+
+    key: str
+    source: str  # memory | disk | computed | coalesced
+    model: str
+    devices: int
+    batch: int
+    n_layers: int
+    plan: Dict[str, str]
+    cost: float
+    model_cost: Optional[float]
+    elapsed: float
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "SearchResponse":
+        return cls(
+            key=payload["key"],
+            source=payload["source"],
+            model=payload["model"],
+            devices=payload["devices"],
+            batch=payload["batch"],
+            n_layers=payload["n_layers"],
+            plan=dict(payload["plan"]),
+            cost=payload["cost"],
+            model_cost=payload.get("model_cost"),
+            elapsed=payload["elapsed"],
+        )
+
+
+@dataclass
+class SimulateRequest:
+    """Body of ``POST /v1/simulate`` — a search request plus replay knobs."""
+
+    search: SearchRequest = field(default_factory=SearchRequest)
+    engine: str = "analytic"
+    layers: int = 0
+
+    def to_json(self) -> Dict[str, Any]:
+        body = self.search.to_json()
+        body["engine"] = self.engine
+        body["layers"] = self.layers
+        return body
+
+
+@dataclass
+class SimulateResponse:
+    """One simulated training iteration of the searched plan."""
+
+    source: str
+    plan_key: str
+    plan_source: str
+    engine: str
+    layers: int
+    latency: float
+    throughput: float
+    peak_memory_bytes: float
+    breakdown: Dict[str, float]
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "SimulateResponse":
+        return cls(
+            source=payload["source"],
+            plan_key=payload["plan_key"],
+            plan_source=payload["plan_source"],
+            engine=payload["engine"],
+            layers=payload["layers"],
+            latency=payload["latency"],
+            throughput=payload["throughput"],
+            peak_memory_bytes=payload["peak_memory_bytes"],
+            breakdown=dict(payload["breakdown"]),
+        )
+
+
+class PlanClient:
+    """HTTP client for one daemon instance."""
+
+    def __init__(self, base_url: str, timeout: float = DEFAULT_TIMEOUT) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> urllib.request.addinfourl:
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            return urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                message = json.loads(raw).get("error", raw.decode())
+            except ValueError:
+                message = raw.decode(errors="replace")
+            retry_after = exc.headers.get("Retry-After")
+            raise ServeError(
+                exc.code,
+                message,
+                float(retry_after) if retry_after else None,
+            ) from None
+
+    def _json(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        with self._request(method, path, body) as response:
+            return json.loads(response.read())
+
+    # -- endpoints -----------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The ``/metrics`` Prometheus text exposition, verbatim."""
+        with self._request("GET", "/metrics") as response:
+            return response.read().decode()
+
+    def search(self, request: SearchRequest) -> SearchResponse:
+        return SearchResponse.from_json(
+            self._json("POST", "/v1/search", request.to_json())
+        )
+
+    def simulate(self, request: SimulateRequest) -> SimulateResponse:
+        return SimulateResponse.from_json(
+            self._json("POST", "/v1/simulate", request.to_json())
+        )
+
+    def plan(self, key: str) -> Optional[SearchResponse]:
+        """A stored plan payload by content hash; ``None`` when absent."""
+        try:
+            return SearchResponse.from_json(
+                self._json("GET", f"/v1/plans/{key}")
+            )
+        except ServeError as exc:
+            if exc.status == 404:
+                return None
+            raise

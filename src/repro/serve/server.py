@@ -1,0 +1,400 @@
+"""The plan-serving daemon: a dependency-free HTTP/JSON front-end.
+
+``primepar serve`` wraps a :class:`PlanService` in a stdlib
+``ThreadingHTTPServer`` — one thread per connection, shared plan store,
+single-flight coalescing and admission control behind it.  Endpoints:
+
+* ``POST /v1/search``   — body: :class:`~repro.serve.service.SearchParams`
+  fields (+ optional ``deadline`` seconds); returns the plan payload with
+  ``key`` and ``source``.
+* ``POST /v1/simulate`` — search body + ``engine`` (``analytic``/``event``)
+  and ``layers``; returns latency/throughput/memory/breakdown.
+* ``GET /v1/plans/<key>`` — a previously computed payload by content hash
+  (404 on miss).
+* ``GET /healthz``      — liveness + occupancy snapshot; 503 while
+  draining.
+* ``GET /metrics``      — the current metrics registry in Prometheus text
+  exposition format (straight from :mod:`repro.obs`).
+
+Overload surfaces as HTTP 429 (queue full) or 503 (slot/deadline timeout),
+both with a ``Retry-After`` header.  Shutdown is graceful: SIGTERM/SIGINT
+stop the accept loop, in-flight requests drain (bounded by
+``drain_timeout``), then the listener closes.
+
+Every request is logged structured (method, path, status, milliseconds)
+through :mod:`repro.obs.logsetup`; per-endpoint latency histograms
+(``serve.request_seconds``), request counters (``serve.requests``) and an
+in-flight gauge (``serve.http_inflight``) land in the metrics registry.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.optimizer.deadline import SearchDeadlineExceeded
+from ..obs.logsetup import get_logger
+from ..obs.metrics import counter, gauge, get_registry, histogram
+from .admission import AdmissionController, AdmissionRejected
+from .service import PlanService, RequestError
+from .store import PlanStore, default_store
+
+logger = get_logger("serve.server")
+
+#: Largest accepted request body (a search request is a few hundred bytes).
+MAX_BODY_BYTES = 1 << 20
+
+#: Latency buckets sized for LRU hits (sub-ms) through cold searches.
+LATENCY_BUCKETS = (
+    1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1.0, 5.0, 30.0, 120.0,
+)
+
+
+@dataclass
+class ServeConfig:
+    """Knobs of one daemon instance (CLI flags map 1:1)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8780
+    max_concurrent: int = 2
+    queue_depth: int = 8
+    lru_size: int = 256
+    deadline: float = 120.0
+    jobs: int = 1
+    drain_timeout: float = 10.0
+    retry_after: float = 1.0
+
+
+class _PlanHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class PlanServer:
+    """Lifecycle owner: bind, serve in a thread, drain, close.
+
+    Usable in-process (tests, benchmarks)::
+
+        server = PlanServer(ServeConfig(port=0)).start()
+        ...  # point a PlanClient at server.url
+        server.shutdown()
+
+    or as a blocking daemon via :meth:`run_until_signal`.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        service: Optional[PlanService] = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        if service is None:
+            store = default_store(self.config.lru_size)
+            admission = AdmissionController(
+                max_concurrent=self.config.max_concurrent,
+                max_queue=self.config.queue_depth,
+                retry_after=self.config.retry_after,
+            )
+            service = PlanService(
+                store=store,
+                admission=admission,
+                jobs=self.config.jobs,
+                default_deadline=self.config.deadline or None,
+            )
+        self.service = service
+        self._httpd: Optional[_PlanHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._drained = threading.Condition(self._inflight_lock)
+        self._draining = False
+        self._stop_requested = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "PlanServer":
+        """Bind (``port=0`` picks an ephemeral port) and serve in a thread."""
+        if self._httpd is not None:
+            raise RuntimeError("server already started")
+        handler = _make_handler(self)
+        self._httpd = _PlanHTTPServer(
+            (self.config.host, self.config.port), handler
+        )
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="primepar-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        logger.info("serving on http://%s:%d", self.host, self.port)
+        return self
+
+    @property
+    def host(self) -> str:
+        if self._httpd is None:
+            return self.config.host
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            return self.config.port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def inflight(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
+
+    def request_stop(self) -> None:
+        """Ask :meth:`run_until_signal` to exit (signal-handler safe)."""
+        self._stop_requested.set()
+
+    def shutdown(self, drain: bool = True) -> bool:
+        """Stop accepting, optionally drain in-flight requests, close.
+
+        Returns ``True`` when every in-flight request finished inside
+        ``drain_timeout`` (or draining was skipped with none in flight).
+        """
+        if self._httpd is None:
+            return True
+        self._draining = True
+        self._httpd.shutdown()  # stops the accept loop, waits for it
+        drained = True
+        if drain:
+            deadline = time.monotonic() + self.config.drain_timeout
+            with self._drained:
+                while self._inflight > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        drained = False
+                        break
+                    self._drained.wait(timeout=remaining)
+        if not drained:
+            logger.warning(
+                "drain timeout (%.1fs) with %d request(s) still in flight",
+                self.config.drain_timeout, self.inflight(),
+            )
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        logger.info(
+            "server stopped (drained=%s, inflight=%d)", drained, self.inflight()
+        )
+        return drained
+
+    def run_until_signal(self) -> int:
+        """Block until SIGTERM/SIGINT (or :meth:`request_stop`), then drain.
+
+        Returns a process exit code: 0 on a clean drain, 1 otherwise.
+        Must be called from the main thread (signal handlers).
+        """
+        previous = {}
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(signum, self._on_signal)
+        try:
+            self._stop_requested.wait()
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+        logger.info("shutdown requested; draining")
+        return 0 if self.shutdown(drain=True) else 1
+
+    def _on_signal(self, signum, frame) -> None:
+        self._stop_requested.set()
+
+    # -- request accounting (handler callbacks) ------------------------
+
+    def _enter_request(self) -> None:
+        with self._inflight_lock:
+            self._inflight += 1
+            gauge("serve.http_inflight").set(self._inflight)
+
+    def _exit_request(self) -> None:
+        with self._drained:
+            self._inflight -= 1
+            gauge("serve.http_inflight").set(self._inflight)
+            if self._inflight == 0:
+                self._drained.notify_all()
+
+
+def _make_handler(server: PlanServer):
+    """A handler class bound to one :class:`PlanServer` instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        server_version = "primepar-serve/1.0"
+        protocol_version = "HTTP/1.1"
+
+        # -- plumbing --------------------------------------------------
+
+        def log_message(self, format: str, *args) -> None:
+            logger.debug("http: " + format, *args)
+
+        def _send_json(
+            self,
+            status: int,
+            payload: Dict[str, Any],
+            retry_after: Optional[float] = None,
+        ) -> None:
+            body = json.dumps(payload, sort_keys=True).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            if retry_after is not None:
+                self.send_header("Retry-After", str(max(1, round(retry_after))))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_text(self, status: int, text: str) -> None:
+            body = text.encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "text/plain; version=0.0.4")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _read_body(self) -> Dict[str, Any]:
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > MAX_BODY_BYTES:
+                raise RequestError(
+                    f"request body too large ({length} > {MAX_BODY_BYTES})"
+                )
+            raw = self.rfile.read(length) if length else b"{}"
+            try:
+                body = json.loads(raw or b"{}")
+            except ValueError as exc:
+                raise RequestError(f"invalid JSON body: {exc}") from exc
+            if not isinstance(body, dict):
+                raise RequestError("request body must be a JSON object")
+            return body
+
+        # -- dispatch --------------------------------------------------
+
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            self._dispatch("GET")
+
+        def do_POST(self) -> None:  # noqa: N802 (http.server API)
+            self._dispatch("POST")
+
+        def _dispatch(self, method: str) -> None:
+            endpoint, status = self.path, 500
+            started = time.perf_counter()
+            server._enter_request()
+            try:
+                endpoint, status = self._route(method)
+            except BrokenPipeError:  # client went away mid-response
+                status = 499
+            except Exception:
+                logger.exception("unhandled error on %s %s", method, self.path)
+                try:
+                    self._send_json(500, {"error": "internal server error"})
+                except Exception:
+                    pass
+                status = 500
+            finally:
+                elapsed = time.perf_counter() - started
+                server._exit_request()
+                counter(
+                    "serve.requests", endpoint=endpoint, status=status
+                ).inc()
+                histogram(
+                    "serve.request_seconds",
+                    buckets=LATENCY_BUCKETS,
+                    endpoint=endpoint,
+                ).observe(elapsed)
+                logger.info(
+                    "%s %s -> %d in %.1fms",
+                    method, self.path, status, elapsed * 1e3,
+                )
+
+        def _route(self, method: str) -> Tuple[str, int]:
+            """Handle one request; returns ``(endpoint label, status)``."""
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            if method == "GET" and path == "/healthz":
+                if server.draining:
+                    self._send_json(
+                        503, {"status": "draining"},
+                        retry_after=server.config.retry_after,
+                    )
+                    return "/healthz", 503
+                self._send_json(
+                    200,
+                    {
+                        "status": "ok",
+                        "inflight": server.inflight(),
+                        "active_searches": server.service.admission.active,
+                        "queued_searches": server.service.admission.waiting,
+                        "plan_store": server.service.store.stats(),
+                    },
+                )
+                return "/healthz", 200
+            if method == "GET" and path == "/metrics":
+                self._send_text(200, get_registry().to_prometheus())
+                return "/metrics", 200
+            if method == "GET" and path.startswith("/v1/plans/"):
+                key = path[len("/v1/plans/"):]
+                payload = server.service.plan(key)
+                if payload is None:
+                    self._send_json(404, {"error": f"no plan for key {key!r}"})
+                    return "/v1/plans", 404
+                self._send_json(200, payload)
+                return "/v1/plans", 200
+            if method == "POST" and path in ("/v1/search", "/v1/simulate"):
+                return path, self._execute(path)
+            self._send_json(
+                404, {"error": f"no route for {method} {self.path}"}
+            )
+            return "(unrouted)", 404
+
+        def _execute(self, path: str) -> int:
+            if server.draining:
+                self._send_json(
+                    503, {"error": "server draining"},
+                    retry_after=server.config.retry_after,
+                )
+                return 503
+            try:
+                body = self._read_body()
+                if path == "/v1/search":
+                    payload = server.service.search_from_request(body)
+                else:
+                    payload = server.service.simulate_from_request(body)
+            except RequestError as exc:
+                self._send_json(400, {"error": str(exc)})
+                return 400
+            except AdmissionRejected as exc:
+                self._send_json(
+                    exc.status, {"error": str(exc)},
+                    retry_after=exc.retry_after,
+                )
+                return exc.status
+            except SearchDeadlineExceeded as exc:
+                self._send_json(
+                    503, {"error": str(exc)},
+                    retry_after=server.config.retry_after,
+                )
+                return 503
+            except FutureTimeoutError:
+                self._send_json(
+                    503, {"error": "timed out waiting for coalesced result"},
+                    retry_after=server.config.retry_after,
+                )
+                return 503
+            self._send_json(200, payload)
+            return 200
+
+    return Handler

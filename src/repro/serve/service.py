@@ -1,0 +1,375 @@
+"""The serving brain: validated requests → coalesced, cached, admitted work.
+
+:class:`PlanService` is the transport-free core of the daemon — the HTTP
+layer (:mod:`repro.serve.server`) and in-process tests drive the same
+object.  One search request flows through:
+
+1. **validation** — :class:`SearchParams.from_request` rejects malformed
+   bodies with :class:`RequestError` (HTTP 400);
+2. **plan store** — the content-hashed key is answered from the in-memory
+   LRU or the disk cache without any computation;
+3. **coalescing** — concurrent identical misses collapse onto one search
+   via :class:`~repro.serve.singleflight.SingleFlight`;
+4. **admission** — the single leader takes an execution slot (or is
+   rejected 429/503 with ``Retry-After``);
+5. **search** — a fresh :class:`~repro.PrimeParOptimizer` runs under the
+   request's cooperative :class:`~repro.core.optimizer.deadline.Deadline`;
+   the JSON-shaped payload is written through both store tiers.
+
+Payloads are plain dicts of spec strings and floats, so responses are
+bit-identical to a direct ``PrimeParOptimizer`` run of the same
+parameters: same plan strings (``str(spec)``), same float costs.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from .. import cache as diskcache
+from ..cluster.profiler import FabricProfiler
+from ..cluster.topology import v100_cluster
+from ..core.optimizer.deadline import Deadline, SearchDeadlineExceeded
+from ..core.optimizer.strategy import PrimeParOptimizer
+from ..core.spec import PartitionSpec
+from ..graph.models import MODELS_BY_KEY
+from ..graph.transformer import build_block_graph
+from ..obs.logsetup import get_logger
+from ..obs.metrics import counter
+from .admission import AdmissionController
+from .singleflight import SingleFlight
+from .store import PlanStore, default_store
+
+logger = get_logger("serve.service")
+
+#: Version stamp folded into every plan key; bump when the payload shape
+#: or anything upstream of it changes meaning.
+SERVE_SCHEMA = 1
+
+#: Largest cluster a request may ask for (guards against absurd bodies).
+MAX_DEVICES = 4096
+
+
+class RequestError(Exception):
+    """A malformed request body (HTTP 400)."""
+
+
+def _field(body: Mapping[str, Any], name: str, kind, default):
+    value = body.get(name, default)
+    if isinstance(value, bool) and kind is not bool:
+        raise RequestError(f"field {name!r} must be {kind.__name__}")
+    if kind is float and isinstance(value, int):
+        value = float(value)
+    if not isinstance(value, kind):
+        raise RequestError(f"field {name!r} must be {kind.__name__}")
+    return value
+
+
+@dataclass(frozen=True)
+class SearchParams:
+    """One validated, canonicalized search request.
+
+    ``batch == 0`` resolves to the CLI's default workload scaling
+    (``max(8, min(devices, 32))``); ``beam == 0`` means exact search.
+    """
+
+    model: str
+    devices: int
+    batch: int
+    alpha: float
+    beam: int
+    include_temporal: bool
+
+    @classmethod
+    def from_request(cls, body: Mapping[str, Any]) -> "SearchParams":
+        if not isinstance(body, Mapping):
+            raise RequestError("request body must be a JSON object")
+        model = _field(body, "model", str, "opt-6.7b")
+        if model not in MODELS_BY_KEY:
+            raise RequestError(
+                f"unknown model {model!r}; expected one of "
+                f"{sorted(MODELS_BY_KEY)}"
+            )
+        devices = _field(body, "devices", int, 8)
+        if not 2 <= devices <= MAX_DEVICES or devices & (devices - 1):
+            raise RequestError(
+                f"devices must be a power of two in [2, {MAX_DEVICES}], "
+                f"got {devices}"
+            )
+        batch = _field(body, "batch", int, 0)
+        if batch < 0:
+            raise RequestError(f"batch must be >= 0, got {batch}")
+        if batch == 0:
+            batch = max(8, min(devices, 32))
+        alpha = _field(body, "alpha", float, 2e-11)
+        if alpha < 0:
+            raise RequestError(f"alpha must be >= 0, got {alpha}")
+        beam = _field(body, "beam", int, 0)
+        if beam < 0:
+            raise RequestError(f"beam must be >= 0, got {beam}")
+        include_temporal = _field(body, "include_temporal", bool, True)
+        return cls(
+            model=model,
+            devices=devices,
+            batch=batch,
+            alpha=alpha,
+            beam=beam,
+            include_temporal=include_temporal,
+        )
+
+    def cache_key(self) -> str:
+        """Content hash identifying this request's plan payload."""
+        return diskcache.content_key(
+            "plan",
+            SERVE_SCHEMA,
+            self.model,
+            self.devices,
+            self.batch,
+            self.alpha,
+            self.beam,
+            self.include_temporal,
+        )
+
+
+def _deadline_seconds(
+    body: Mapping[str, Any], default: Optional[float]
+) -> Optional[float]:
+    """Per-request deadline: the body's ``deadline`` capped by the server
+    default (a request may tighten the budget, never extend it)."""
+    requested = _field(body, "deadline", float, 0.0)
+    if requested < 0:
+        raise RequestError(f"deadline must be >= 0, got {requested}")
+    if requested == 0:
+        return default
+    if default is not None:
+        return min(requested, default)
+    return requested
+
+
+class PlanService:
+    """Transport-free request execution over a shared plan store.
+
+    Args:
+        store: Plan store shared across requests (``None`` → the
+            process-wide :func:`~repro.serve.store.default_store`).
+        admission: Execution-slot controller (``None`` → defaults).
+        jobs: Process-pool width each admitted search may use.
+        default_deadline: Server-wide per-request budget in seconds
+            (``None`` = unbounded); request bodies can only tighten it.
+    """
+
+    def __init__(
+        self,
+        store: Optional[PlanStore] = None,
+        admission: Optional[AdmissionController] = None,
+        jobs: int = 1,
+        default_deadline: Optional[float] = None,
+    ) -> None:
+        self.store = store if store is not None else default_store()
+        self.admission = admission if admission is not None else AdmissionController()
+        self.jobs = jobs
+        self.default_deadline = default_deadline
+        self._searches = SingleFlight()
+        self._simulations = SingleFlight()
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+
+    def search_from_request(self, body: Mapping[str, Any]) -> Dict[str, Any]:
+        """Validate a raw ``/v1/search`` body and execute it."""
+        params = SearchParams.from_request(body)
+        return self.search(params, _deadline_seconds(body, self.default_deadline))
+
+    def search(
+        self, params: SearchParams, deadline_s: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """The plan payload for ``params`` — cached, coalesced or computed.
+
+        The returned dict always carries ``key`` (the content hash, usable
+        with ``GET /v1/plans/<key>``) and ``source`` — one of ``memory``,
+        ``disk``, ``computed``, ``coalesced``.
+        """
+        key = params.cache_key()
+        value, tier = self.store.get(key)
+        if value is not None:
+            return {**value, "key": key, "source": tier}
+        deadline = Deadline(deadline_s) if deadline_s else None
+
+        def compute() -> Dict[str, Any]:
+            timeout = deadline.remaining() if deadline else None
+            with self.admission.admit(timeout=timeout):
+                counter("serve.searches").inc()
+                payload = self._run_search(params, deadline)
+                self.store.put(key, payload)
+                return payload
+
+        try:
+            value, leader = self._searches.run(
+                key, compute, timeout=deadline.remaining() if deadline else None
+            )
+        except FutureTimeoutError:
+            counter("serve.rejected", reason="coalesce_timeout").inc()
+            raise
+        return {**value, "key": key, "source": "computed" if leader else "coalesced"}
+
+    def _run_search(
+        self, params: SearchParams, deadline: Optional[Deadline]
+    ) -> Dict[str, Any]:
+        model = MODELS_BY_KEY[params.model]
+        profiler = FabricProfiler(v100_cluster(params.devices))
+        graph = build_block_graph(model.block_shape(batch=params.batch))
+        optimizer = PrimeParOptimizer(
+            profiler,
+            alpha=params.alpha,
+            include_temporal=params.include_temporal,
+            beam=params.beam or None,
+            jobs=self.jobs,
+        )
+        started = time.perf_counter()
+        try:
+            result = optimizer.optimize(
+                graph, n_layers=model.n_layers, deadline=deadline
+            )
+        except SearchDeadlineExceeded:
+            counter("serve.rejected", reason="deadline").inc()
+            raise
+        logger.info(
+            "search %s x%d batch %d: cost %.6g in %.2fs",
+            params.model, params.devices, params.batch, result.cost,
+            time.perf_counter() - started,
+        )
+        return {
+            "model": params.model,
+            "devices": params.devices,
+            "batch": params.batch,
+            "alpha": params.alpha,
+            "beam": params.beam,
+            "include_temporal": params.include_temporal,
+            "n_layers": model.n_layers,
+            "plan": {
+                name: str(spec) for name, spec in sorted(result.plan.items())
+            },
+            "cost": result.cost,
+            "model_cost": result.model_cost,
+            "elapsed": result.elapsed,
+        }
+
+    # ------------------------------------------------------------------
+    # plan lookup
+    # ------------------------------------------------------------------
+
+    def plan(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for a content-hash key, or ``None``."""
+        value, tier = self.store.get(key)
+        if value is None:
+            return None
+        return {**value, "key": key, "source": tier}
+
+    # ------------------------------------------------------------------
+    # simulate
+    # ------------------------------------------------------------------
+
+    def simulate_from_request(self, body: Mapping[str, Any]) -> Dict[str, Any]:
+        """Validate a raw ``/v1/simulate`` body and execute it."""
+        params = SearchParams.from_request(body)
+        engine = _field(body, "engine", str, "analytic")
+        if engine not in ("analytic", "event"):
+            raise RequestError(
+                f"engine must be 'analytic' or 'event', got {engine!r}"
+            )
+        layers = _field(body, "layers", int, 0)
+        if layers < 0:
+            raise RequestError(f"layers must be >= 0, got {layers}")
+        return self.simulate(
+            params, engine, layers, _deadline_seconds(body, self.default_deadline)
+        )
+
+    def simulate(
+        self,
+        params: SearchParams,
+        engine: str = "analytic",
+        layers: int = 0,
+        deadline_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Replay the plan for ``params`` on a simulator engine.
+
+        The plan is resolved through :meth:`search` first (so simulations
+        warm and reuse the plan store); the replay itself is coalesced
+        per ``(plan key, engine, layers)`` and admission-controlled like a
+        search.  Simulation reports are additionally disk-cached by
+        :mod:`repro.sim.simcache` underneath ``run_model``.
+        """
+        plan_payload = self.search(params, deadline_s)
+        model = MODELS_BY_KEY[params.model]
+        n_layers = layers or model.n_layers
+        sim_key = diskcache.content_key(
+            "simrequest", SERVE_SCHEMA, plan_payload["key"], engine, n_layers
+        )
+        deadline = Deadline(deadline_s) if deadline_s else None
+
+        def compute() -> Dict[str, Any]:
+            timeout = deadline.remaining() if deadline else None
+            with self.admission.admit(timeout=timeout):
+                counter("serve.simulations").inc()
+                return self._run_simulation(
+                    params, plan_payload, engine, n_layers
+                )
+
+        value, leader = self._simulations.run(
+            sim_key, compute, timeout=deadline.remaining() if deadline else None
+        )
+        return {
+            **value,
+            "plan_key": plan_payload["key"],
+            "plan_source": plan_payload["source"],
+            "source": "computed" if leader else "coalesced",
+        }
+
+    def _run_simulation(
+        self,
+        params: SearchParams,
+        plan_payload: Mapping[str, Any],
+        engine: str,
+        n_layers: int,
+    ) -> Dict[str, Any]:
+        from ..sim.engine import EventDrivenSimulator
+        from ..sim.executor import TrainingSimulator
+
+        topology = v100_cluster(params.devices)
+        profiler = FabricProfiler(topology)
+        model = MODELS_BY_KEY[params.model]
+        graph = build_block_graph(model.block_shape(batch=params.batch))
+        plan = {
+            name: _spec_from_string(text, topology.n_bits)
+            for name, text in plan_payload["plan"].items()
+        }
+        simulator = (
+            EventDrivenSimulator(profiler)
+            if engine == "event"
+            else TrainingSimulator(profiler)
+        )
+        report = simulator.run_model(graph, plan, params.batch, n_layers)
+        return {
+            "model": params.model,
+            "devices": params.devices,
+            "batch": params.batch,
+            "engine": engine,
+            "layers": n_layers,
+            "latency": report.latency,
+            "throughput": report.throughput,
+            "peak_memory_bytes": report.peak_memory_bytes,
+            "breakdown": {
+                kind: seconds
+                for kind, seconds in sorted(report.breakdown.items())
+            },
+        }
+
+
+def _spec_from_string(text: str, n_bits: int) -> PartitionSpec:
+    """Rehydrate a payload's spec string (``str(spec)`` round-trip)."""
+    if text == "(replicated)":
+        return PartitionSpec((), n_bits)
+    return PartitionSpec.from_string(text, n_bits)

@@ -149,6 +149,117 @@ def _square(x):
     return x * x
 
 
+def _explode(x):
+    raise ValueError(f"worker refused {x}")
+
+
+def test_parallel_map_worker_exception_cleans_up_pool():
+    """A worker exception propagates and leaves no live child processes."""
+    import multiprocessing
+    import time
+
+    with pytest.raises(ValueError, match="worker refused"):
+        parallel_map(_explode, [1, 2, 3, 4], 2)
+    # The pool was hard-stopped, not leaked: children die promptly and
+    # the next fan-out starts from a clean slate.
+    deadline = time.monotonic() + 20.0
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert multiprocessing.active_children() == []
+    assert parallel_map(_square, [1, 2, 3], 2) == [1, 4, 9]
+
+
+_INTERRUPT_SCRIPT = """\
+import os
+import sys
+import time
+
+from repro import cache
+from repro.core.optimizer.parallel import parallel_map
+
+OUT = sys.argv[1]
+
+
+def task(i):
+    # A completed cache write, then park: an interrupt must neither
+    # corrupt this entry nor leave this worker process running.
+    key = cache.content_key("interrupt", i)
+    cache.store("interrupt", key, list(range(20000)))
+    path = os.path.join(OUT, f"worker-{i}.pid")
+    with open(path + ".tmp", "w") as fh:
+        fh.write(str(os.getpid()))
+    os.replace(path + ".tmp", path)
+    time.sleep(120)
+    return i
+
+
+if __name__ == "__main__":
+    parallel_map(task, [0, 1, 2], 3)
+"""
+
+
+def test_parallel_map_interrupt_terminates_workers(tmp_path):
+    """Ctrl-C mid-fan-out: prompt exit, dead workers, intact cache.
+
+    Regression for the pool-shutdown hang: ``ProcessPoolExecutor``'s
+    context manager waits for all submitted work, so a KeyboardInterrupt
+    used to block until every queued task finished and could leak
+    workers.  ``parallel_map`` must instead cancel, terminate and join.
+    """
+    import signal
+    import subprocess
+    import sys
+    import time
+
+    script = tmp_path / "interrupt_fanout.py"
+    script.write_text(_INTERRUPT_SCRIPT)
+    cache_dir = tmp_path / "cache"
+    env = dict(os.environ, PRIMEPAR_CACHE_DIR=str(cache_dir))
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (env.get("PYTHONPATH"), "src") if p
+    )
+    proc = subprocess.Popen(
+        [sys.executable, str(script), str(tmp_path)],
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+    try:
+        deadline = time.monotonic() + 60.0
+        while len(list(tmp_path.glob("worker-*.pid"))) < 3:
+            assert proc.poll() is None, proc.stderr.read().decode()
+            assert time.monotonic() < deadline, "workers never started"
+            time.sleep(0.05)
+        worker_pids = [
+            int(path.read_text()) for path in tmp_path.glob("worker-*.pid")
+        ]
+        proc.send_signal(signal.SIGINT)
+        # Without termination the parent would sit in pool shutdown for
+        # the full 120s worker sleep; with it, exit is prompt and dirty.
+        assert proc.wait(timeout=30.0) != 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10.0)
+    deadline = time.monotonic() + 20.0
+    alive = set(worker_pids)
+    while alive and time.monotonic() < deadline:
+        for pid in list(alive):
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                alive.discard(pid)
+        time.sleep(0.05)
+    assert not alive, f"leaked worker processes: {sorted(alive)}"
+    # Every cache entry written before the interrupt unpickles cleanly.
+    entries = list(cache_dir.glob("*.pkl"))
+    assert len(entries) >= 3
+    for path in entries:
+        with open(path, "rb") as fh:
+            assert pickle.load(fh) is not None
+
+
 # ----------------------------------------------------------------------
 # persistent cache robustness
 # ----------------------------------------------------------------------

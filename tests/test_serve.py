@@ -1,0 +1,767 @@
+"""The plan-serving subsystem: store, coalescing, admission, HTTP contract.
+
+Server tests drive a real in-process ``PlanServer`` bound to an ephemeral
+port through the typed ``PlanClient`` — the same stack ``primepar serve``
+runs — with a fresh metrics registry and cache directory per test so
+hit/miss/coalescing counters are exact.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from pathlib import Path
+
+import pytest
+
+from repro import cache as diskcache
+from repro.cache import MemoryLRU
+from repro.cluster.profiler import FabricProfiler
+from repro.cluster.topology import v100_cluster
+from repro.core.optimizer.deadline import Deadline, SearchDeadlineExceeded
+from repro.core.optimizer.strategy import PrimeParOptimizer
+from repro.graph.models import MODELS_BY_KEY
+from repro.graph.transformer import build_block_graph
+from repro.obs.metrics import MetricsRegistry, counter, use_registry
+from repro.serve import (
+    AdmissionController,
+    AdmissionRejected,
+    PlanClient,
+    PlanServer,
+    PlanService,
+    PlanStore,
+    RequestError,
+    SearchParams,
+    SearchRequest,
+    ServeConfig,
+    ServeError,
+    SimulateRequest,
+    SingleFlight,
+)
+
+MODEL = "opt-6.7b"
+
+
+@pytest.fixture()
+def fresh_cache(tmp_path, monkeypatch):
+    """A private disk-cache directory so tier provenance is deterministic."""
+    monkeypatch.setenv("PRIMEPAR_CACHE_DIR", str(tmp_path / "cache"))
+    return tmp_path
+
+
+@pytest.fixture()
+def registry():
+    """A fresh process-wide metrics registry (server threads record here)."""
+    with use_registry(MetricsRegistry()) as fresh:
+        yield fresh
+
+
+def _service(**kwargs) -> PlanService:
+    kwargs.setdefault("store", PlanStore(max_entries=8))
+    kwargs.setdefault("admission", AdmissionController(max_concurrent=2))
+    kwargs.setdefault("default_deadline", 120.0)
+    return PlanService(**kwargs)
+
+
+@pytest.fixture()
+def server(fresh_cache, registry):
+    instance = PlanServer(ServeConfig(port=0), service=_service()).start()
+    yield instance
+    instance.shutdown()
+
+
+def _gate_search(service):
+    """Replace ``service._run_search`` with one that blocks on an event.
+
+    Returns ``(entered, release)``: ``entered`` fires once a search thread
+    is inside the gate; setting ``release`` lets the real search proceed.
+    """
+    real = service._run_search
+    entered, release = threading.Event(), threading.Event()
+
+    def gated(params, deadline):
+        entered.set()
+        assert release.wait(timeout=60.0), "gated search never released"
+        return real(params, deadline)
+
+    service._run_search = gated
+    return entered, release
+
+
+def _direct_payload(params: SearchParams):
+    """What a direct ``PrimeParOptimizer`` run of ``params`` produces."""
+    model = MODELS_BY_KEY[params.model]
+    profiler = FabricProfiler(v100_cluster(params.devices))
+    graph = build_block_graph(model.block_shape(batch=params.batch))
+    optimizer = PrimeParOptimizer(
+        profiler,
+        alpha=params.alpha,
+        include_temporal=params.include_temporal,
+        beam=params.beam or None,
+        jobs=1,
+    )
+    result = optimizer.optimize(graph, n_layers=model.n_layers)
+    return result.cost, {n: str(s) for n, s in sorted(result.plan.items())}
+
+
+# ----------------------------------------------------------------------
+# MemoryLRU / PlanStore
+# ----------------------------------------------------------------------
+
+
+class TestMemoryLRU:
+    def test_evicts_least_recently_used(self, registry):
+        lru = MemoryLRU(2, namespace="t1")
+        lru.put("a", 1)
+        lru.put("b", 2)
+        assert lru.get("a") == 1  # refresh "a"; "b" is now oldest
+        lru.put("c", 3)
+        assert lru.get("b") is None
+        assert lru.get("a") == 1
+        assert lru.get("c") == 3
+        stats = lru.stats()
+        assert stats["evictions"] == 1
+        assert stats["entries"] == 2
+        assert stats["max_entries"] == 2
+
+    def test_hit_miss_counting(self, registry):
+        lru = MemoryLRU(4, namespace="t2")
+        assert lru.get("nope") is None
+        lru.put("k", "v")
+        assert lru.get("k") == "v"
+        stats = lru.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_overwrite_keeps_one_entry_and_reaccounts_bytes(self, registry):
+        lru = MemoryLRU(4, namespace="t3")
+        lru.put("k", "x" * 10)
+        small = lru.stats()["bytes"]
+        lru.put("k", "x" * 10_000)
+        stats = lru.stats()
+        assert stats["entries"] == 1
+        assert stats["bytes"] > small
+        assert stats["evictions"] == 0
+
+    def test_clear(self, registry):
+        lru = MemoryLRU(4, namespace="t4")
+        lru.put("a", 1)
+        lru.put("b", 2)
+        assert lru.clear() == 2
+        stats = lru.stats()
+        assert stats["entries"] == 0
+        assert stats["bytes"] == 0
+        assert lru.get("a") is None
+
+
+class TestPlanStore:
+    def test_write_through_and_disk_promotion(self, fresh_cache, registry):
+        key = diskcache.content_key("plan", "store-test")
+        first = PlanStore(max_entries=4)
+        first.put(key, {"cost": 1.0})
+        # A fresh store (cold memory, same disk) answers from disk once,
+        # then promotes the entry into its own memory tier.
+        second = PlanStore(max_entries=4)
+        value, tier = second.get(key)
+        assert (value, tier) == ({"cost": 1.0}, "disk")
+        value, tier = second.get(key)
+        assert (value, tier) == ({"cost": 1.0}, "memory")
+
+    def test_memory_only_store_skips_disk(self, fresh_cache, registry):
+        key = diskcache.content_key("plan", "volatile")
+        volatile = PlanStore(max_entries=4, use_disk=False)
+        volatile.put(key, {"cost": 2.0})
+        assert volatile.get(key) == ({"cost": 2.0}, "memory")
+        assert PlanStore(max_entries=4).get(key) == (None, None)
+
+    def test_full_miss(self, fresh_cache, registry):
+        store = PlanStore(max_entries=4)
+        assert store.get("no-such-key") == (None, None)
+
+
+# ----------------------------------------------------------------------
+# SingleFlight
+# ----------------------------------------------------------------------
+
+
+class TestSingleFlight:
+    def test_concurrent_callers_share_one_computation(self, registry):
+        flight = SingleFlight()
+        entered, release = threading.Event(), threading.Event()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            entered.set()
+            assert release.wait(timeout=30.0)
+            return {"value": 42}
+
+        results = []
+
+        def run():
+            results.append(flight.run("k", compute, timeout=30.0))
+
+        leader = threading.Thread(target=run)
+        leader.start()
+        assert entered.wait(timeout=30.0)
+        followers = [threading.Thread(target=run) for _ in range(3)]
+        for t in followers:
+            t.start()
+        deadline = time.monotonic() + 30.0
+        while counter("serve.coalesced").value < 3:
+            assert time.monotonic() < deadline, "followers never coalesced"
+            time.sleep(0.005)
+        release.set()
+        for t in [leader, *followers]:
+            t.join(timeout=30.0)
+        assert len(calls) == 1
+        assert len(results) == 4
+        assert sorted(leader_flag for _, leader_flag in results) == [
+            False, False, False, True,
+        ]
+        values = [value for value, _ in results]
+        assert all(value is values[0] for value in values)  # same object
+        assert flight.inflight_keys() == []
+
+    def test_leader_exception_reaches_followers_and_releases_key(
+        self, registry
+    ):
+        flight = SingleFlight()
+        entered, release = threading.Event(), threading.Event()
+
+        def boom():
+            entered.set()
+            assert release.wait(timeout=30.0)
+            raise ValueError("search exploded")
+
+        errors = []
+
+        def run():
+            try:
+                flight.run("k", boom, timeout=30.0)
+            except ValueError as exc:
+                errors.append(str(exc))
+
+        leader = threading.Thread(target=run)
+        leader.start()
+        assert entered.wait(timeout=30.0)
+        follower = threading.Thread(target=run)
+        follower.start()
+        deadline = time.monotonic() + 30.0
+        while counter("serve.coalesced").value < 1:
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        release.set()
+        leader.join(timeout=30.0)
+        follower.join(timeout=30.0)
+        assert errors == ["search exploded", "search exploded"]
+        # The key is free again: the next call recomputes fresh.
+        value, leader_flag = flight.run("k", lambda: "recovered")
+        assert (value, leader_flag) == ("recovered", True)
+
+    def test_follower_timeout(self, registry):
+        flight = SingleFlight()
+        entered, release = threading.Event(), threading.Event()
+
+        def slow():
+            entered.set()
+            assert release.wait(timeout=30.0)
+            return "late"
+
+        leader = threading.Thread(
+            target=lambda: flight.run("k", slow)
+        )
+        leader.start()
+        assert entered.wait(timeout=30.0)
+        with pytest.raises(FutureTimeoutError):
+            flight.run("k", slow, timeout=0.05)
+        release.set()
+        leader.join(timeout=30.0)
+
+
+# ----------------------------------------------------------------------
+# AdmissionController
+# ----------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_slot_timeout_is_503_with_retry_after(self, registry):
+        controller = AdmissionController(
+            max_concurrent=1, max_queue=4, retry_after=2.5
+        )
+        holding, release = threading.Event(), threading.Event()
+
+        def hold():
+            with controller.admit():
+                holding.set()
+                assert release.wait(timeout=30.0)
+
+        holder = threading.Thread(target=hold)
+        holder.start()
+        assert holding.wait(timeout=30.0)
+        assert controller.active == 1
+        with pytest.raises(AdmissionRejected) as err:
+            with controller.admit(timeout=0.05):
+                pass
+        assert err.value.status == 503
+        assert err.value.retry_after == 2.5
+        release.set()
+        holder.join(timeout=30.0)
+        assert controller.active == 0
+
+    def test_full_queue_is_429(self, registry):
+        controller = AdmissionController(max_concurrent=1, max_queue=0)
+        holding, release = threading.Event(), threading.Event()
+
+        def hold():
+            with controller.admit():
+                holding.set()
+                assert release.wait(timeout=30.0)
+
+        holder = threading.Thread(target=hold)
+        holder.start()
+        assert holding.wait(timeout=30.0)
+        # Slot busy and no queue allowed: immediate 429, no waiting.
+        with pytest.raises(AdmissionRejected) as err:
+            with controller.admit(timeout=30.0):
+                pass
+        assert err.value.status == 429
+        release.set()
+        holder.join(timeout=30.0)
+
+    def test_free_slot_bypasses_queue_bound(self, registry):
+        controller = AdmissionController(max_concurrent=1, max_queue=0)
+        with controller.admit(timeout=0):
+            assert controller.active == 1
+        assert controller.active == 0
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_concurrent=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=-1)
+
+
+# ----------------------------------------------------------------------
+# Request validation
+# ----------------------------------------------------------------------
+
+
+class TestSearchParams:
+    def test_defaults_and_batch_resolution(self):
+        params = SearchParams.from_request({})
+        assert params.model == MODEL
+        assert params.devices == 8
+        assert params.batch == 8  # max(8, min(8, 32))
+        assert SearchParams.from_request({"devices": 64}).batch == 32
+        assert SearchParams.from_request({"batch": 5}).batch == 5
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            {"model": "gpt-17"},
+            {"devices": 3},
+            {"devices": 1},
+            {"devices": 8192},
+            {"devices": True},
+            {"devices": "8"},
+            {"batch": -1},
+            {"alpha": -1.0},
+            {"alpha": "fast"},
+            {"beam": -2},
+            {"include_temporal": 1},
+        ],
+    )
+    def test_rejects_malformed_bodies(self, body):
+        with pytest.raises(RequestError):
+            SearchParams.from_request(body)
+
+    def test_cache_key_is_content_addressed(self):
+        a = SearchParams.from_request({"devices": 4})
+        b = SearchParams.from_request({"devices": 4})
+        c = SearchParams.from_request({"devices": 8})
+        assert a.cache_key() == b.cache_key()
+        assert a.cache_key() != c.cache_key()
+
+
+# ----------------------------------------------------------------------
+# Deadlines
+# ----------------------------------------------------------------------
+
+
+class TestDeadline:
+    def test_expires_and_raises_with_stage(self):
+        deadline = Deadline(1e-9)
+        time.sleep(0.001)
+        assert deadline.expired()
+        assert deadline.remaining() <= 0.0
+        with pytest.raises(SearchDeadlineExceeded) as err:
+            deadline.check("segment_dp")
+        assert "segment_dp" in str(err.value)
+
+    def test_generous_budget_passes(self):
+        deadline = Deadline(60.0)
+        deadline.check("start")
+        assert not deadline.expired()
+        assert 0.0 < deadline.remaining() <= 60.0
+
+    def test_optimizer_honors_deadline(self, profiler4, small_block):
+        optimizer = PrimeParOptimizer(profiler4)
+        with pytest.raises(SearchDeadlineExceeded):
+            optimizer.optimize(small_block, deadline=Deadline(1e-9))
+
+
+# ----------------------------------------------------------------------
+# PlanService
+# ----------------------------------------------------------------------
+
+
+class TestPlanService:
+    def test_search_matches_direct_optimizer_bit_for_bit(
+        self, fresh_cache, registry
+    ):
+        params = SearchParams.from_request({"devices": 2, "batch": 8})
+        service = _service()
+        payload = service.search(params)
+        assert payload["source"] == "computed"
+        cost, plan = _direct_payload(params)
+        assert payload["cost"] == cost  # float equality, not approx
+        assert payload["plan"] == plan
+        assert payload["n_layers"] == MODELS_BY_KEY[MODEL].n_layers
+
+    def test_source_transitions_memory_then_disk(self, fresh_cache, registry):
+        params = SearchParams.from_request({"devices": 2, "batch": 8})
+        service = _service()
+        assert service.search(params)["source"] == "computed"
+        assert service.search(params)["source"] == "memory"
+        # A second service (fresh memory, shared disk) restarts warm.
+        assert _service().search(params)["source"] == "disk"
+        assert counter("serve.searches").value == 1
+
+    def test_plan_lookup(self, fresh_cache, registry):
+        params = SearchParams.from_request({"devices": 2, "batch": 8})
+        service = _service()
+        payload = service.search(params)
+        found = service.plan(payload["key"])
+        assert found["plan"] == payload["plan"]
+        assert service.plan("no-such-key") is None
+
+
+# ----------------------------------------------------------------------
+# HTTP endpoint contracts (typed client against an in-process server)
+# ----------------------------------------------------------------------
+
+
+class TestHTTPEndpoints:
+    def test_healthz_contract(self, server):
+        health = PlanClient(server.url).healthz()
+        assert health["status"] == "ok"
+        assert health["inflight"] >= 1  # the healthz request itself
+        assert health["active_searches"] == 0
+        assert set(health["plan_store"]) >= {
+            "hits", "misses", "evictions", "entries", "bytes",
+        }
+
+    def test_search_then_plan_roundtrip(self, server):
+        client = PlanClient(server.url)
+        request = SearchRequest(model=MODEL, devices=2, batch=8)
+        first = client.search(request)
+        assert first.source == "computed"
+        assert first.plan and first.cost > 0
+        again = client.search(request)
+        assert again.source == "memory"
+        assert again.plan == first.plan
+        assert again.cost == first.cost
+        stored = client.plan(first.key)
+        assert stored is not None and stored.plan == first.plan
+        assert client.plan("0123456789abcdef") is None
+
+    def test_search_payload_matches_direct_optimizer(self, server):
+        request = SearchRequest(model=MODEL, devices=2, batch=8)
+        response = PlanClient(server.url).search(request)
+        cost, plan = _direct_payload(
+            SearchParams.from_request(request.to_json())
+        )
+        assert response.cost == cost
+        assert response.plan == plan
+
+    def test_malformed_body_is_400(self, server):
+        client = PlanClient(server.url)
+        with pytest.raises(ServeError) as err:
+            client.search(SearchRequest(devices=3))
+        assert err.value.status == 400
+        assert "power of two" in err.value.message
+
+    def test_unknown_route_is_404(self, server):
+        with pytest.raises(ServeError) as err:
+            PlanClient(server.url)._json("GET", "/v2/nope")
+        assert err.value.status == 404
+
+    def test_simulate_contract(self, server):
+        client = PlanClient(server.url)
+        response = client.simulate(
+            SimulateRequest(
+                search=SearchRequest(model=MODEL, devices=2, batch=8),
+                engine="analytic",
+                layers=2,
+            )
+        )
+        assert response.engine == "analytic"
+        assert response.layers == 2
+        assert response.throughput > 0
+        assert response.latency > 0
+        assert response.breakdown
+        assert response.plan_source in ("computed", "memory", "disk")
+        with pytest.raises(ServeError) as err:
+            client.simulate(
+                SimulateRequest(
+                    search=SearchRequest(devices=2), engine="quantum"
+                )
+            )
+        assert err.value.status == 400
+
+    def test_metrics_exposition_parses(self, server):
+        client = PlanClient(server.url)
+        client.search(SearchRequest(model=MODEL, devices=2, batch=8))
+        # Request counters land *after* the response bytes are written, so
+        # poll briefly until the search request's sample is visible.
+        deadline = time.monotonic() + 10.0
+        while True:
+            text = client.metrics()
+            if "primepar_serve_requests" in text:
+                break
+            assert time.monotonic() < deadline, "request counter never showed"
+            time.sleep(0.01)
+        assert "primepar_serve_request_seconds" in text
+        assert "primepar_plan_store_misses" in text
+        samples = 0
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            float(value)  # every sample value must parse
+            assert name_part.startswith("primepar_")
+            samples += 1
+        assert samples > 10
+
+
+# ----------------------------------------------------------------------
+# Coalescing, overload, deadline, drain — through the HTTP stack
+# ----------------------------------------------------------------------
+
+
+class TestServerBehavior:
+    def test_concurrent_identical_searches_run_once(self, server):
+        """Two concurrent identical /v1/search bodies → exactly one search,
+        both responses bit-identical to a direct optimizer run."""
+        entered, release = _gate_search(server.service)
+        client = PlanClient(server.url)
+        request = SearchRequest(model=MODEL, devices=2, batch=8)
+        responses = []
+
+        def call():
+            responses.append(client.search(request))
+
+        first = threading.Thread(target=call)
+        first.start()
+        assert entered.wait(timeout=60.0)  # leader is mid-search
+        second = threading.Thread(target=call)
+        second.start()
+        deadline = time.monotonic() + 60.0
+        while counter("serve.coalesced").value < 1:
+            assert time.monotonic() < deadline, "second request never joined"
+            time.sleep(0.005)
+        release.set()
+        first.join(timeout=120.0)
+        second.join(timeout=120.0)
+        assert len(responses) == 2
+        assert counter("serve.searches").value == 1
+        assert sorted(r.source for r in responses) == ["coalesced", "computed"]
+        assert responses[0].plan == responses[1].plan
+        assert responses[0].cost == responses[1].cost
+        cost, plan = _direct_payload(
+            SearchParams.from_request(request.to_json())
+        )
+        assert responses[0].cost == cost
+        assert responses[0].plan == plan
+
+    def test_overload_returns_429_with_retry_after(self, fresh_cache, registry):
+        service = _service(
+            admission=AdmissionController(
+                max_concurrent=1, max_queue=0, retry_after=3.0
+            )
+        )
+        server = PlanServer(ServeConfig(port=0), service=service).start()
+        entered, release = _gate_search(service)
+        try:
+            client = PlanClient(server.url)
+            holder = threading.Thread(
+                target=lambda: client.search(
+                    SearchRequest(model=MODEL, devices=2, batch=8)
+                )
+            )
+            holder.start()
+            assert entered.wait(timeout=60.0)
+            # A *different* request (no coalescing) finds the slot busy and
+            # the queue full.
+            with pytest.raises(ServeError) as err:
+                client.search(SearchRequest(model=MODEL, devices=4, batch=8))
+            assert err.value.status == 429
+            assert err.value.retry_after == 3.0
+            release.set()
+            holder.join(timeout=120.0)
+        finally:
+            release.set()
+            server.shutdown()
+
+    def test_exhausted_deadline_is_503(self, server):
+        client = PlanClient(server.url)
+        with pytest.raises(ServeError) as err:
+            client.search(
+                SearchRequest(model=MODEL, devices=2, batch=16, deadline=1e-6)
+            )
+        assert err.value.status == 503
+        assert err.value.retry_after is not None
+        assert counter("serve.rejected", reason="deadline").value == 1
+
+    def test_draining_rejects_new_work(self, fresh_cache, registry):
+        server = PlanServer(
+            ServeConfig(port=0),
+            service=_service(store=PlanStore(max_entries=4, use_disk=False)),
+        ).start()
+        try:
+            client = PlanClient(server.url)
+            assert client.healthz()["status"] == "ok"
+            server._draining = True
+            with pytest.raises(ServeError) as health_err:
+                client.healthz()
+            assert health_err.value.status == 503
+            with pytest.raises(ServeError) as post_err:
+                client.search(SearchRequest(devices=2))
+            assert post_err.value.status == 503
+            assert post_err.value.retry_after is not None
+        finally:
+            server._draining = False
+            assert server.shutdown() is True
+
+    def test_shutdown_waits_for_inflight_requests(self, fresh_cache, registry):
+        service = _service()
+        server = PlanServer(
+            ServeConfig(port=0, drain_timeout=60.0), service=service
+        ).start()
+        entered, release = _gate_search(service)
+        client = PlanClient(server.url)
+        responses = []
+        worker = threading.Thread(
+            target=lambda: responses.append(
+                client.search(SearchRequest(model=MODEL, devices=2, batch=8))
+            )
+        )
+        worker.start()
+        assert entered.wait(timeout=60.0)
+        outcome = {}
+        stopper = threading.Thread(
+            target=lambda: outcome.setdefault("drained", server.shutdown())
+        )
+        stopper.start()
+        time.sleep(0.2)
+        # The in-flight search pins the drain; shutdown must still be
+        # blocked, not have given up.
+        assert "drained" not in outcome
+        release.set()
+        worker.join(timeout=120.0)
+        stopper.join(timeout=120.0)
+        assert outcome["drained"] is True
+        assert len(responses) == 1
+        assert responses[0].source == "computed"
+
+    def test_run_until_signal_honors_request_stop(self, fresh_cache, registry):
+        server = PlanServer(
+            ServeConfig(port=0),
+            service=_service(store=PlanStore(max_entries=4, use_disk=False)),
+        ).start()
+        threading.Timer(0.2, server.request_stop).start()
+        assert server.run_until_signal() == 0
+
+
+# ----------------------------------------------------------------------
+# CLI surface: cache tiers + serve flags
+# ----------------------------------------------------------------------
+
+
+class TestServeCLI:
+    def test_serve_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.func.__name__ == "cmd_serve"
+        assert args.port == 8780
+        assert args.max_concurrent == 2
+        assert args.queue_depth == 8
+        assert args.lru_size == 256
+        assert args.deadline == 120.0
+        assert args.drain_timeout == 10.0
+
+    def test_cache_stats_reports_memory_tier(
+        self, fresh_cache, registry, capsys
+    ):
+        from repro.cli import main
+        from repro.serve.store import default_store, reset_default_store
+
+        reset_default_store()
+        try:
+            store = default_store(4)
+            key = diskcache.content_key("plan", "cli-smoke")
+            store.put(key, {"plan": {}, "cost": 1.0})
+            store.get(key)
+            assert main(["cache", "--stats"]) == 0
+            out = capsys.readouterr().out
+            assert "in-memory plan store (this process)" in out
+        finally:
+            reset_default_store()
+
+    def test_report_renders_cache_tiers(self, tmp_path, capsys):
+        from repro.cli import main
+
+        document = {
+            "counters": [
+                {"name": "plan_store.hits", "labels": {}, "value": 3.0},
+                {"name": "plan_store.misses", "labels": {}, "value": 1.0},
+                {"name": "cache.hits", "labels": {"kind": "plan"}, "value": 2.0},
+                {"name": "cache.stores", "labels": {"kind": "plan"}, "value": 1.0},
+            ],
+            "gauges": [
+                {"name": "plan_store.entries", "labels": {}, "value": 2.0},
+                {"name": "plan_store.bytes", "labels": {}, "value": 512.0},
+            ],
+        }
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(document))
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "cache tiers" in out
+        assert "memory (LRU)" in out
+        assert "disk" in out
+
+
+# ----------------------------------------------------------------------
+# Hygiene: the serve package obeys the no-print rule
+# ----------------------------------------------------------------------
+
+
+def test_serve_package_passes_no_print_lint():
+    repo = Path(__file__).resolve().parent.parent
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(repo / "tools" / "lint_no_print.py"),
+            str(repo / "src" / "repro" / "serve"),
+        ],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
