@@ -100,6 +100,33 @@ def _measure_warm(client: PlanClient, devices: int, repeats: int) -> Dict:
     }
 
 
+def _measure_traced_warm(
+    client: PlanClient, devices: int, repeats: int, warm_stats: Dict
+) -> Dict:
+    """The warm path again, with ``?debug=trace`` inlining the request
+    record — the *extra* cost of trace serialization over the always-on
+    tracing already included in ``warm``."""
+    request = SearchRequest(model=MODEL, devices=devices, batch=8)
+    latencies, events = [], 0
+    for i in range(repeats):
+        started = time.perf_counter()
+        response = client.search(
+            request, trace_id=f"bench-warm-{i}", debug_trace=True
+        )
+        latencies.append(time.perf_counter() - started)
+        events += len((response.trace or {}).get("events", []))
+    stats = _stats_ms(latencies)
+    baseline_p50 = warm_stats["p50_ms"]
+    return {
+        **stats,
+        "trace_events": events,
+        "overhead_p50_pct": (
+            (stats["p50_ms"] / baseline_p50 - 1.0) * 100.0
+            if baseline_p50 else 0.0
+        ),
+    }
+
+
 def _measure_coalesced(
     client: PlanClient, devices: int, clients: int, fresh_batch: int
 ) -> Dict:
@@ -211,6 +238,9 @@ def run_benchmark(
                         server.url, devices, workers=4, seconds=load_seconds
                     ),
                 }
+                payload["tracing"] = _measure_traced_warm(
+                    client, devices, warm_repeats, payload["warm"]
+                )
             finally:
                 server.shutdown()
     finally:
@@ -249,6 +279,11 @@ def _report(payload: Dict) -> str:
         f"  load   ({load['workers']} workers):  {load['requests']} reqs in "
         f"{load['seconds']:.1f}s = {load['rps']:.0f} req/s "
         f"({load['errors']} errors)",
+        f"  traced ({payload['tracing']['count']} reqs):    p50 "
+        f"{payload['tracing']['p50_ms']:.2f}ms, p95 "
+        f"{payload['tracing']['p95_ms']:.2f}ms  "
+        f"[debug=trace overhead {payload['tracing']['overhead_p50_pct']:+.1f}%"
+        f" over warm p50]",
     ])
 
 
@@ -265,6 +300,8 @@ def test_serve_smoke(benchmark):
     assert payload["coalesced"]["searches"] == 1
     assert payload["throughput"]["errors"] == 0
     assert payload["throughput"]["requests"] > 0
+    assert payload["tracing"]["trace_events"] > 0
+    assert payload["tracing"]["p95_ms"] < 50.0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -294,6 +294,177 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def _explain_plan_for(args, profiler, graph, model, batch):
+    if args.plan == "megatron":
+        return best_megatron_plan(
+            TrainingSimulator(profiler), graph, batch, model.n_layers
+        ).plan
+    return PrimeParOptimizer(
+        profiler, alpha=args.alpha, beam=args.beam or None, jobs=args.jobs
+    ).optimize(graph, n_layers=model.n_layers).plan
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.3f}"
+
+
+def emit_explanation(doc) -> None:
+    """Render an explanation document as ``reporting`` tables."""
+    components = doc["components"]
+    total = doc["total_cost"]
+    rows = [
+        [
+            name,
+            _ms(components[name]),
+            f"{components[name] / total * 100:.1f}%" if total else "-",
+        ]
+        for name in doc["component_order"]
+    ]
+    rows.append(["total", _ms(total), "100.0%"])
+    title = (
+        f"cost components ({doc['kind']}, "
+        + (
+            f"{doc['devices']} devices"
+            if doc["kind"] == "plan"
+            else doc["config"]
+        )
+        + ")"
+    )
+    emit(format_table(["component", "ms", "share"], rows, title=title))
+    if doc["kind"] == "pipeline":
+        emit(
+            f"\nbubble fraction {doc['bubble_fraction'] * 100:.1f}%, "
+            f"stage latency {_ms(doc['stage_latency'])} ms, "
+            f"throughput {doc['throughput']:.2f} samples/s"
+        )
+        return
+    rows = [
+        [
+            entry["operator"],
+            entry["spec"],
+            _ms(entry["compute"]),
+            _ms(entry["intra_comm"]),
+            _ms(entry["allreduce"]),
+            f"{entry['memory_bytes'] / 2**30:.3f}",
+        ]
+        for entry in doc["per_layer"]
+    ]
+    emit(
+        "",
+        format_table(
+            ["operator", "spec", "compute", "ring", "allreduce", "GiB"],
+            rows,
+            title="per layer (ms per iteration)",
+        ),
+    )
+    rows = [
+        [
+            group["spec"],
+            str(len(group["operators"])),
+            _ms(group["compute"]),
+            _ms(group["intra_comm"]),
+            _ms(group["allreduce"]),
+        ]
+        for group in doc["by_primitive"]
+    ]
+    emit(
+        "",
+        format_table(
+            ["primitive sequence", "ops", "compute", "ring", "allreduce"],
+            rows,
+            title="per primitive (ms per iteration)",
+        ),
+    )
+    resharding = [e for e in doc["per_edge"] if e["cost"] > 0]
+    if resharding:
+        resharding.sort(key=lambda e: -e["cost"])
+        rows = [
+            [
+                f"{e['src']} -> {e['dst']}",
+                _ms(e["cost"]),
+                _ms(e["forward"]),
+                _ms(e["backward"]),
+            ]
+            for e in resharding[:8]
+        ]
+        emit(
+            "",
+            format_table(
+                ["edge", "cost", "forward", "backward"],
+                rows,
+                title="inter-operator resharding (ms)",
+            ),
+        )
+    links = doc.get("links", {})
+    link_bytes = links.get("link_bytes", {})
+    if link_bytes:
+        hottest = sorted(link_bytes.items(), key=lambda kv: -kv[1])[:8]
+        link_util = links.get("link_utilization", {})
+        rows = [
+            [
+                key,
+                f"{n_bytes / 2**20:.1f}",
+                f"{link_util.get(key, 0.0) * 100:.1f}%",
+            ]
+            for key, n_bytes in hottest
+        ]
+        emit(
+            "",
+            format_table(
+                ["link", "MiB moved", "utilization"],
+                rows,
+                title="per-link byte attribution (event engine, one layer)",
+            ),
+        )
+
+
+def cmd_explain(args) -> int:
+    from .core.explain import explain_pipeline, explain_plan
+
+    model, batch, profiler, graph = _setting(args)
+    if args.config3d:
+        try:
+            p, d, m = (int(x) for x in args.config3d.split(":"))
+        except ValueError:
+            logger.error("--config3d expects p:d:m, got %r", args.config3d)
+            return 2
+        from .parallel3d.planner import Config3D
+
+        planner = Planner3D(
+            model,
+            n_devices=args.devices,
+            global_batch=batch,
+            alpha=args.alpha,
+            jobs=args.jobs,
+        )
+        logger.info(
+            "explaining %s under (p=%d, d=%d, m=%d)", args.plan, p, d, m
+        )
+        result = planner.simulate(
+            Config3D(pipeline=p, data=d, model=m), args.plan
+        )
+        doc = explain_pipeline(result)
+    else:
+        plan = _explain_plan_for(args, profiler, graph, model, batch)
+        logger.info(
+            "explaining the %s plan on %d devices", args.plan, args.devices
+        )
+        doc = explain_plan(
+            profiler,
+            graph,
+            plan,
+            alpha=args.alpha,
+            include_links=not args.no_links,
+            global_batch=batch,
+        )
+    if args.json:
+        emit(json.dumps(doc, indent=1, sort_keys=True))
+        return 0
+    emit_explanation(doc)
+    _write_metrics_if_requested(args)
+    return 0
+
+
 def cmd_serve(args) -> int:
     from .serve.server import PlanServer, ServeConfig
 
@@ -306,6 +477,11 @@ def cmd_serve(args) -> int:
         deadline=args.deadline,
         jobs=args.jobs,
         drain_timeout=args.drain_timeout,
+        trace_store_size=args.trace_store_size,
+        flight_size=args.flight_size,
+        flight_snapshot_interval=args.flight_snapshot_interval,
+        slo_window=args.slo_window,
+        slo_p95_ms=args.slo_p95_ms,
     )
     server = PlanServer(config).start()
     emit(f"serving on http://{server.host}:{server.port}")
@@ -528,6 +704,9 @@ def cmd_report(args) -> int:
         emit("", format_table(
             ["histogram", "labels", "count", "sum", "mean"], rows
         ))
+    if not any((tiers, counters, gauges, histograms, document.get("spans"))):
+        emit("no metrics recorded")
+        return 0
     spans = document.get("spans", [])
     if spans:
         totals = {}
@@ -616,6 +795,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_metrics_out(simulate)
     simulate.set_defaults(func=cmd_simulate)
 
+    explain = sub.add_parser(
+        "explain", help="decompose a plan's predicted iteration cost"
+    )
+    _add_common(explain)
+    explain.add_argument(
+        "--plan", choices=("primepar", "megatron"), default="primepar",
+        help="partition plan to explain (default: primepar's search result)",
+    )
+    explain.add_argument(
+        "--config3d", default="", metavar="P:D:M",
+        help="explain a 3D configuration's iteration latency (pipeline "
+             "bubble decomposition) instead of a flat tensor-parallel plan",
+    )
+    explain.add_argument(
+        "--json", action="store_true",
+        help="print the schema-stable explanation JSON instead of tables",
+    )
+    explain.add_argument(
+        "--no-links", action="store_true",
+        help="skip the event-engine replay for per-link byte attribution",
+    )
+    _add_metrics_out(explain)
+    explain.set_defaults(func=cmd_explain)
+
     serve = sub.add_parser(
         "serve", help="run the plan-serving HTTP daemon"
     )
@@ -655,6 +858,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--port-file", default="", metavar="PATH",
         help="write the bound port here once listening (for scripts/CI)",
+    )
+    serve.add_argument(
+        "--trace-store-size", type=int, default=256,
+        help="completed request traces kept for GET /v1/traces/<id> "
+             "(default 256)",
+    )
+    serve.add_argument(
+        "--flight-size", type=int, default=256,
+        help="flight-recorder request-ring capacity (default 256)",
+    )
+    serve.add_argument(
+        "--flight-snapshot-interval", type=float, default=30.0,
+        help="seconds between flight-recorder process snapshots "
+             "(0 disables the sampler; default 30)",
+    )
+    serve.add_argument(
+        "--slo-window", type=int, default=256,
+        help="rolling-latency window in requests behind /healthz quantiles "
+             "(default 256)",
+    )
+    serve.add_argument(
+        "--slo-p95-ms", type=float, default=0.0,
+        help="p95 latency target in ms for /v1/* traffic; /healthz reports "
+             "breach when exceeded (0 disables, default 0)",
     )
     serve.set_defaults(func=cmd_serve)
 

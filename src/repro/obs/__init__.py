@@ -27,15 +27,27 @@ from __future__ import annotations
 import json
 from typing import Dict, Optional
 
+from .flight import FLIGHT_SCHEMA, FlightRecorder, process_rss_bytes
 from .logsetup import configure_logging, get_logger
 from .metrics import (
     MetricsRegistry,
     counter,
     delta_snapshots,
+    describe,
     gauge,
     get_registry,
     histogram,
     use_registry,
+)
+from .quantiles import DEFAULT_QUANTILES, RollingQuantiles, quantile_label
+from .reqtrace import (
+    RequestTrace,
+    TraceStore,
+    current_trace,
+    new_trace_id,
+    trace_event,
+    use_trace,
+    valid_trace_id,
 )
 from .spans import Span, SpanCollector, get_collector, span, use_collector
 
@@ -43,22 +55,36 @@ from .spans import Span, SpanCollector, get_collector, span, use_collector
 METRICS_SCHEMA = 1
 
 __all__ = [
+    "DEFAULT_QUANTILES",
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
     "METRICS_SCHEMA",
     "MetricsRegistry",
+    "RequestTrace",
+    "RollingQuantiles",
     "Span",
     "SpanCollector",
+    "TraceStore",
     "configure_logging",
     "counter",
+    "current_trace",
     "delta_snapshots",
+    "describe",
     "gauge",
     "get_collector",
     "get_logger",
     "get_registry",
     "histogram",
     "metrics_document",
+    "new_trace_id",
+    "process_rss_bytes",
+    "quantile_label",
     "span",
+    "trace_event",
     "use_collector",
     "use_registry",
+    "use_trace",
+    "valid_trace_id",
     "write_metrics",
 ]
 

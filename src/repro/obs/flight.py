@@ -1,0 +1,166 @@
+"""Flight recorder: an always-on bounded record of recent daemon activity.
+
+When a long-lived daemon misbehaves — latency spike, memory creep, a crash
+under load — the forensic questions are always the same: *what were the
+last N requests, and what did the process look like over the last few
+minutes?*  The flight recorder answers both from memory, with strictly
+bounded footprint:
+
+* a ring buffer (``deque(maxlen=...)``) of the last N per-request records
+  (trace id, endpoint, status, outcome, duration) appended by the serving
+  layer on every request completion;
+* a ring buffer of periodic *process snapshots* (RSS, thread count, plus
+  whatever gauges the host registers via ``snapshot_provider`` — LRU
+  occupancy, admission depth) taken by a daemon thread every
+  ``snapshot_interval`` seconds and once more at dump time.
+
+:meth:`FlightRecorder.dump` renders both rings as one JSON-ready dict —
+the payload behind ``GET /debug/flightrecorder`` and the SIGUSR1 dump
+file.  Everything is stdlib; RSS comes from ``/proc/self/statm`` where
+available and falls back to ``resource.getrusage`` peak-RSS elsewhere.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional
+
+#: Schema version of :meth:`FlightRecorder.dump` payloads.
+FLIGHT_SCHEMA = 1
+
+
+def process_rss_bytes() -> int:
+    """Current resident set size in bytes (best effort, stdlib only)."""
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as handle:
+            resident_pages = int(handle.read().split()[1])
+        return resident_pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        peak_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports KiB; macOS reports bytes. Heuristic: values below
+        # 1 MiB-as-KiB are implausible for a python process in bytes.
+        return peak_kib * 1024 if peak_kib < 1 << 32 else peak_kib
+    except Exception:
+        return 0
+
+
+class FlightRecorder:
+    """Bounded request + process-snapshot rings with a background sampler.
+
+    Args:
+        max_requests: Request-record ring capacity.
+        max_snapshots: Process-snapshot ring capacity.
+        snapshot_interval: Seconds between background snapshots; ``0``
+            disables the sampler thread (snapshots still happen at dump
+            time).
+        snapshot_provider: Optional callable returning extra key/values to
+            fold into every snapshot (e.g. LRU occupancy, admission depth).
+    """
+
+    def __init__(
+        self,
+        max_requests: int = 256,
+        max_snapshots: int = 64,
+        snapshot_interval: float = 30.0,
+        snapshot_provider: Optional[Callable[[], Dict[str, Any]]] = None,
+    ) -> None:
+        if max_requests < 1:
+            raise ValueError(f"max_requests must be >= 1, got {max_requests}")
+        if max_snapshots < 1:
+            raise ValueError(f"max_snapshots must be >= 1, got {max_snapshots}")
+        self.max_requests = max_requests
+        self.max_snapshots = max_snapshots
+        self.snapshot_interval = snapshot_interval
+        self.snapshot_provider = snapshot_provider
+        self._requests: deque = deque(maxlen=max_requests)
+        self._snapshots: deque = deque(maxlen=max_snapshots)
+        self._dropped = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def record_request(self, record: Dict[str, Any]) -> None:
+        """Append one request record (oldest falls off when full)."""
+        with self._lock:
+            if len(self._requests) == self.max_requests:
+                self._dropped += 1
+            self._requests.append(record)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Take one process snapshot now and append it to the ring."""
+        entry: Dict[str, Any] = {
+            "ts_unix": time.time(),
+            "rss_bytes": process_rss_bytes(),
+            "threads": threading.active_count(),
+        }
+        if self.snapshot_provider is not None:
+            try:
+                entry.update(self.snapshot_provider())
+            except Exception as exc:  # provider bugs must not kill sampling
+                entry["provider_error"] = repr(exc)
+        with self._lock:
+            self._snapshots.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # background sampler
+    # ------------------------------------------------------------------
+
+    def start(self) -> "FlightRecorder":
+        """Start the periodic snapshot thread (no-op when disabled)."""
+        if self.snapshot_interval <= 0 or self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._sample_loop, name="primepar-flight", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the snapshot thread (idempotent)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def _sample_loop(self) -> None:
+        self.snapshot()
+        while not self._stop.wait(self.snapshot_interval):
+            self.snapshot()
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+
+    def dump(self, take_snapshot: bool = True) -> Dict[str, Any]:
+        """Both rings as one JSON-ready payload (oldest first).
+
+        ``take_snapshot`` appends one fresh process snapshot first, so a
+        dump always reflects "now" even when the sampler is disabled.
+        """
+        if take_snapshot:
+            self.snapshot()
+        with self._lock:
+            requests: List[Dict[str, Any]] = [dict(r) for r in self._requests]
+            snapshots: List[Dict[str, Any]] = [dict(s) for s in self._snapshots]
+            dropped = self._dropped
+        return {
+            "schema": FLIGHT_SCHEMA,
+            "generated_unix": time.time(),
+            "max_requests": self.max_requests,
+            "requests_dropped": dropped,
+            "requests": requests,
+            "snapshots": snapshots,
+        }

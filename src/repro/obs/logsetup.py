@@ -30,8 +30,29 @@ _TRUE_VALUES = {"1", "true", "yes", "on"}
 LEVELS = ("debug", "info", "warning", "error")
 
 
+#: Keys reserved by the base schema; structured fields may not shadow them.
+RESERVED_FIELD_KEYS = frozenset({"ts", "level", "logger", "message", "exc"})
+
+
+def _record_fields(record: logging.LogRecord) -> dict:
+    """Structured fields attached via ``extra={"fields": {...}}``."""
+    fields = getattr(record, "fields", None)
+    if not isinstance(fields, dict):
+        return {}
+    return {
+        str(key): value
+        for key, value in fields.items()
+        if str(key) not in RESERVED_FIELD_KEYS
+    }
+
+
 class JsonFormatter(logging.Formatter):
-    """One JSON object per record: ts, level, logger, message."""
+    """One JSON object per record: ts, level, logger, message [+ fields].
+
+    Extra structured fields (``log.info(..., extra={"fields": {...}})``)
+    are merged at the top level; keys are emitted sorted so the JSON-lines
+    schema is stable, and fields may not shadow the base keys.
+    """
 
     def format(self, record: logging.LogRecord) -> str:
         payload = {
@@ -42,19 +63,33 @@ class JsonFormatter(logging.Formatter):
             "logger": record.name,
             "message": record.getMessage(),
         }
+        payload.update(_record_fields(record))
         if record.exc_info:
             payload["exc"] = self.formatException(record.exc_info)
-        return json.dumps(payload, sort_keys=True)
+        return json.dumps(payload, sort_keys=True, default=str)
 
 
 class TextFormatter(logging.Formatter):
-    """``HH:MM:SS.mmm LEVEL logger: message`` — compact terminal lines."""
+    """``HH:MM:SS.mmm LEVEL logger: message k=v`` — compact terminal lines.
+
+    Structured fields are appended as sorted ``key=value`` pairs.
+    """
 
     def __init__(self) -> None:
         super().__init__(
             fmt="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
             datefmt="%H:%M:%S",
         )
+
+    def format(self, record: logging.LogRecord) -> str:
+        line = super().format(record)
+        fields = _record_fields(record)
+        if fields:
+            pairs = " ".join(
+                f"{key}={fields[key]}" for key in sorted(fields)
+            )
+            line = f"{line} {pairs}"
+        return line
 
 
 def env_level(default: str = "warning") -> str:

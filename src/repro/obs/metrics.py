@@ -119,7 +119,7 @@ _KIND_CLASSES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 class _Family:
     """All label-children of one metric name, pinned to a single kind."""
 
-    __slots__ = ("name", "kind", "children", "bounds")
+    __slots__ = ("name", "kind", "children", "bounds", "help")
 
     def __init__(
         self, name: str, kind: str, bounds: Optional[Tuple[float, ...]] = None
@@ -128,6 +128,7 @@ class _Family:
         self.kind = kind
         self.children: Dict[_LabelKey, object] = {}
         self.bounds = bounds
+        self.help: Optional[str] = None
 
 
 class MetricsRegistry:
@@ -140,6 +141,8 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._families: Dict[str, _Family] = {}
+        #: Help text registered before the family's first data point.
+        self._pending_help: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # metric access
@@ -159,6 +162,7 @@ class MetricsRegistry:
                 family = _Family(
                     name, kind, tuple(bounds) if bounds is not None else None
                 )
+                family.help = self._pending_help.pop(name, None)
                 self._families[name] = family
             elif family.kind != kind:
                 raise ValueError(
@@ -190,18 +194,49 @@ class MetricsRegistry:
     ) -> Histogram:
         return self._child("histogram", name, labels, bounds=buckets)
 
+    def describe(self, name: str, text: str) -> None:
+        """Attach ``# HELP`` text to a metric family (created lazily).
+
+        The family's kind is pinned on first data access; describing a
+        name before any child exists just parks the text until then.
+        """
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                self._pending_help[name] = text
+            else:
+                family.help = text
+
     # ------------------------------------------------------------------
     # export
     # ------------------------------------------------------------------
 
-    def _iter_children(self) -> Iterator[Tuple[str, str, object]]:
+    def _iter_families(
+        self,
+    ) -> Iterator[Tuple[str, str, Optional[str], List[object]]]:
         with self._lock:
             families = [
-                (family.name, family.kind, list(family.children.values()))
+                (
+                    family.name,
+                    family.kind,
+                    family.help,
+                    list(family.children.values()),
+                )
                 for family in self._families.values()
             ]
-        for name, kind, children in sorted(families):
-            for child in sorted(children, key=lambda c: c.labels):
+        for name, kind, help_text, children in sorted(
+            families, key=lambda f: (f[0], f[1])
+        ):
+            yield (
+                name,
+                kind,
+                help_text,
+                sorted(children, key=lambda c: c.labels),
+            )
+
+    def _iter_children(self) -> Iterator[Tuple[str, str, object]]:
+        for name, kind, _, children in self._iter_families():
+            for child in children:
                 yield name, kind, child
 
     def snapshot(self) -> Dict[str, List[Dict[str, object]]]:
@@ -255,28 +290,38 @@ class MetricsRegistry:
                     hist.counts[i] += c
 
     def to_prometheus(self, prefix: str = "primepar") -> str:
-        """The registry in the Prometheus text exposition format."""
+        """The registry in the Prometheus text exposition format.
+
+        Per the exposition format: exactly one ``# HELP`` and one
+        ``# TYPE`` line per metric family (in that order, before any
+        sample of the family); label values escape backslash, double
+        quote and newline; help text escapes backslash and newline.
+        """
         lines: List[str] = []
-        current_family: Optional[str] = None
-        for name, kind, child in self._iter_children():
+        for name, kind, help_text, children in self._iter_families():
             metric = _prom_name(prefix, name)
-            if name != current_family:
-                lines.append(f"# TYPE {metric} {kind}")
-                current_family = name
-            if kind == "histogram":
-                cumulative = 0
-                for bound, count in zip(child.bounds, child.counts):
-                    cumulative += count
-                    labels = _prom_labels(child.labels, ("le", _fmt(bound)))
-                    lines.append(f"{metric}_bucket{labels} {cumulative}")
-                labels = _prom_labels(child.labels, ("le", "+Inf"))
-                lines.append(f"{metric}_bucket{labels} {child.count}")
-                base = _prom_labels(child.labels)
-                lines.append(f"{metric}_sum{base} {_fmt(child.sum)}")
-                lines.append(f"{metric}_count{base} {child.count}")
-            else:
-                labels = _prom_labels(child.labels)
-                lines.append(f"{metric}{labels} {_fmt(child.value)}")
+            lines.append(
+                f"# HELP {metric} "
+                f"{_escape_help(help_text or f'{kind} {name}')}"
+            )
+            lines.append(f"# TYPE {metric} {kind}")
+            for child in children:
+                if kind == "histogram":
+                    cumulative = 0
+                    for bound, count in zip(child.bounds, child.counts):
+                        cumulative += count
+                        labels = _prom_labels(
+                            child.labels, ("le", _fmt(bound))
+                        )
+                        lines.append(f"{metric}_bucket{labels} {cumulative}")
+                    labels = _prom_labels(child.labels, ("le", "+Inf"))
+                    lines.append(f"{metric}_bucket{labels} {child.count}")
+                    base = _prom_labels(child.labels)
+                    lines.append(f"{metric}_sum{base} {_fmt(child.sum)}")
+                    lines.append(f"{metric}_count{base} {child.count}")
+                else:
+                    labels = _prom_labels(child.labels)
+                    lines.append(f"{metric}{labels} {_fmt(child.value)}")
         return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -297,7 +342,13 @@ def _prom_labels(
 
 
 def _escape(value: str) -> str:
+    """Label-value escaping: backslash, double quote, newline (in order)."""
     return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _escape_help(text: str) -> str:
+    """Help-text escaping: backslash and newline (quotes stay literal)."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
 
 
 def _fmt(value: float) -> str:
@@ -407,3 +458,8 @@ def histogram(
 ) -> Histogram:
     """A histogram in the current registry (creates it on first use)."""
     return _current_registry.histogram(name, buckets=buckets, **labels)
+
+
+def describe(name: str, text: str) -> None:
+    """Attach ``# HELP`` text to a family in the current registry."""
+    _current_registry.describe(name, text)

@@ -1,0 +1,106 @@
+"""Deterministic rolling-window latency quantiles (stdlib only).
+
+Streaming quantile sketches (t-digest, CKMS) trade exactness for memory;
+for a serving daemon whose interesting window is "the last few hundred
+requests", an explicit ring buffer is smaller, simpler, and — crucially for
+this repo's regression discipline — *deterministic*: the same observation
+sequence always yields the same quantiles.
+
+:class:`RollingQuantiles` keeps the last ``window`` observations in a
+``deque`` and answers nearest-rank quantiles over a sorted copy of the
+window — the same estimator ``benchmarks/bench_serve.py`` reports, so
+``/healthz`` SLO numbers and the checked-in bench baselines are directly
+comparable.  Observation is O(1); quantile evaluation is O(window log
+window) and intended for scrape time (``/healthz``, ``/metrics``), not the
+request hot path.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict, Sequence, Tuple
+
+#: Default quantiles published for SLO reporting.
+DEFAULT_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+def nearest_rank(ordered: Sequence[float], q: float) -> float:
+    """The nearest-rank ``q``-quantile of an already-sorted sequence.
+
+    Matches ``benchmarks/bench_serve.py``'s ``_percentile`` exactly:
+    ``round(q * (n - 1))`` with banker's rounding, clamped to the range.
+    Returns ``0.0`` for an empty sequence.
+    """
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class RollingQuantiles:
+    """Quantiles over a sliding window of the last ``window`` observations.
+
+    Thread-safe: many request threads :meth:`observe` while scrapers call
+    :meth:`snapshot`.
+    """
+
+    def __init__(
+        self,
+        window: int = 256,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        for q in quantiles:
+            if not 0.0 <= q <= 1.0:
+                raise ValueError(f"quantile {q} outside [0, 1]")
+        self.window = window
+        self.quantiles = tuple(quantiles)
+        self._values: deque = deque(maxlen=window)
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Append one observation (O(1); evicts the oldest past ``window``)."""
+        with self._lock:
+            self._values.append(float(value))
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total observations ever seen (not just the current window)."""
+        with self._lock:
+            return self._count
+
+    def quantile(self, q: float) -> float:
+        """The nearest-rank ``q``-quantile of the current window."""
+        with self._lock:
+            ordered = sorted(self._values)
+        return nearest_rank(ordered, q)
+
+    def snapshot(self) -> Dict[str, float]:
+        """All configured quantiles plus window occupancy, one sort.
+
+        Keys are schema-stable: ``p50``-style labels derived from the
+        configured quantiles (``0.5 -> "p50"``, ``0.99 -> "p99"``), plus
+        ``count`` (lifetime) and ``window`` (current occupancy).
+        """
+        with self._lock:
+            ordered = sorted(self._values)
+            count = self._count
+        out: Dict[str, float] = {
+            "count": float(count),
+            "window": float(len(ordered)),
+        }
+        for q in self.quantiles:
+            out[quantile_label(q)] = nearest_rank(ordered, q)
+        return out
+
+
+def quantile_label(q: float) -> str:
+    """``0.95 -> "p95"``, ``0.999 -> "p99.9"`` — stable metric labels."""
+    scaled = q * 100.0
+    if scaled == int(scaled):
+        return f"p{int(scaled)}"
+    return f"p{scaled:g}"

@@ -1,0 +1,176 @@
+"""Request-scoped tracing: one id per request, one record per causal path.
+
+The metrics registry (:mod:`repro.obs.metrics`) aggregates; spans
+(:mod:`repro.obs.spans`) time code regions.  Neither answers "what happened
+to *this* request" — a request that queued, coalesced onto another caller's
+search, and missed the LRU is indistinguishable from a warm hit except by
+latency.  This module adds the request dimension:
+
+* :func:`new_trace_id` mints ids; callers may supply their own (e.g. the
+  serving daemon honours an ``X-PrimePar-Trace-Id`` header).
+* :class:`RequestTrace` accumulates a request's causal events — plan-store
+  tier, admission wait, coalescing leader, optimizer spans — against a
+  monotonic clock anchored at the request's start.
+* :func:`use_trace` installs a trace as the *current* one for the calling
+  thread; instrumented code anywhere below calls :func:`trace_event`
+  (a cheap no-op when no trace is active), so deep layers need no
+  trace-id plumbing in their signatures.
+* :class:`TraceStore` retains the last N completed records for retrieval
+  by id (``GET /v1/traces/<id>``).
+
+The current trace is *thread-local* — each serving thread owns exactly one
+request at a time — unlike the process-wide registry/collector swaps, which
+exist for worker processes.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional
+
+#: Accepted shape of a client-supplied trace id (defensive: ids are echoed
+#: into logs, JSON payloads and Prometheus-adjacent surfaces).
+TRACE_ID_PATTERN = re.compile(r"^[A-Za-z0-9._-]{1,128}$")
+
+
+def new_trace_id() -> str:
+    """A fresh, process-unique trace id (32 hex chars)."""
+    return uuid.uuid4().hex
+
+
+def valid_trace_id(candidate: str) -> bool:
+    """Whether a client-supplied id is safe to adopt verbatim."""
+    return bool(TRACE_ID_PATTERN.match(candidate))
+
+
+class RequestTrace:
+    """The in-flight record of one request's causal path.
+
+    Events are ``(name, offset seconds, attrs)`` appended in causal order;
+    :meth:`finish` freezes the record.  Thread-safe appends — a request is
+    handled by one thread, but a coalescing leader may publish into a
+    follower's trace.
+    """
+
+    def __init__(self, trace_id: str, endpoint: str) -> None:
+        self.trace_id = trace_id
+        self.endpoint = endpoint
+        self.started_unix = time.time()
+        self._clock0 = time.perf_counter()
+        self.events: List[Dict[str, Any]] = []
+        self.spans: List[Dict[str, Any]] = []
+        #: Request params content hash, once known.
+        self.key: Optional[str] = None
+        #: Terminal outcome: a plan source (``memory``/``disk``/``computed``
+        #: /``coalesced``) or an error class (``error:<kind>``).
+        self.outcome: Optional[str] = None
+        self.status: Optional[int] = None
+        self.duration_ms: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        """Seconds since this request started."""
+        return time.perf_counter() - self._clock0
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Append one causal event at the current offset."""
+        entry = {"name": name, "t": self.now(), "attrs": attrs}
+        with self._lock:
+            self.events.append(entry)
+
+    def attach_spans(self, spans: List[Dict[str, Any]]) -> None:
+        """Adopt an optimizer/simulator span export into this trace."""
+        with self._lock:
+            self.spans.extend(spans)
+
+    def finish(self, status: int, outcome: Optional[str] = None) -> None:
+        """Freeze terminal fields (idempotent on ``duration_ms``)."""
+        with self._lock:
+            self.status = status
+            if outcome is not None:
+                self.outcome = outcome
+            if self.duration_ms is None:
+                self.duration_ms = self.now() * 1e3
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Schema-stable JSON shape of the record."""
+        with self._lock:
+            return {
+                "trace_id": self.trace_id,
+                "endpoint": self.endpoint,
+                "started_unix": self.started_unix,
+                "duration_ms": self.duration_ms,
+                "status": self.status,
+                "outcome": self.outcome,
+                "key": self.key,
+                "events": [dict(e) for e in self.events],
+                "spans": [dict(s) for s in self.spans],
+            }
+
+
+class TraceStore:
+    """The last ``max_entries`` completed traces, retrievable by id.
+
+    Insertion order is completion order; when full, the oldest record is
+    dropped.  A duplicate id (a client reusing its own id) replaces the
+    older record and refreshes its position.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def put(self, record: Dict[str, Any]) -> None:
+        trace_id = record["trace_id"]
+        with self._lock:
+            if trace_id in self._entries:
+                del self._entries[trace_id]
+            self._entries[trace_id] = record
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def get(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            return self._entries.get(trace_id)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+# ----------------------------------------------------------------------
+# current trace (thread-local)
+# ----------------------------------------------------------------------
+
+_local = threading.local()
+
+
+def current_trace() -> Optional[RequestTrace]:
+    """The calling thread's active trace, or ``None``."""
+    return getattr(_local, "trace", None)
+
+
+@contextmanager
+def use_trace(trace: RequestTrace):
+    """Install ``trace`` as the calling thread's current trace."""
+    previous = getattr(_local, "trace", None)
+    _local.trace = trace
+    try:
+        yield trace
+    finally:
+        _local.trace = previous
+
+
+def trace_event(name: str, **attrs: Any) -> None:
+    """Record an event on the current trace; no-op outside any request."""
+    trace = getattr(_local, "trace", None)
+    if trace is not None:
+        trace.event(name, **attrs)

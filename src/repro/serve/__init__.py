@@ -16,6 +16,13 @@
 
 :mod:`repro.serve.client` is the typed stdlib client used by the tests and
 ``benchmarks/bench_serve.py``.
+
+Observability (PR 8): every request carries a trace id through the whole
+causal path (store tier, queue wait, coalescing, optimizer spans) —
+``?debug=trace`` inlines the record, ``GET /v1/traces/<id>`` retrieves it
+later; an always-on :class:`repro.obs.FlightRecorder` keeps the last N
+requests + process snapshots behind ``GET /debug/flightrecorder`` and
+SIGUSR1; ``POST /v1/explain`` serves bit-exact plan-cost decompositions.
 """
 
 from .admission import AdmissionController, AdmissionRejected
@@ -27,7 +34,7 @@ from .client import (
     SimulateRequest,
     SimulateResponse,
 )
-from .server import PlanServer, ServeConfig
+from .server import TRACE_HEADER, PlanServer, ServeConfig
 from .service import PlanService, RequestError, SearchParams
 from .singleflight import SingleFlight
 from .store import PlanStore, default_store, reset_default_store
@@ -48,6 +55,7 @@ __all__ = [
     "SimulateRequest",
     "SimulateResponse",
     "SingleFlight",
+    "TRACE_HEADER",
     "default_store",
     "reset_default_store",
 ]

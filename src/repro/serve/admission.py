@@ -15,18 +15,37 @@ A queued request that cannot start before its own deadline gives up with
 well-behaved clients back off.
 
 Gauges ``serve.active`` / ``serve.queued`` track occupancy; rejections are
-counted under ``serve.rejected{reason=...}``.
+counted under ``serve.rejected{reason=...}``; every admitted request's
+time-to-slot lands on the ``serve.queue_wait_seconds`` histogram (the fast
+path records ``0.0``, so the count doubles as an admitted-requests total).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
-from ..obs.metrics import counter, gauge
+from ..obs.metrics import counter, gauge, histogram
+from ..obs.reqtrace import trace_event
 
 NAMESPACE = "serve"
+
+#: Buckets for ``serve.queue_wait_seconds`` — queue waits range from the
+#: fast path's exact zero up to multi-second deadline-bound stalls.
+QUEUE_WAIT_BUCKETS = (
+    0.0001,
+    0.001,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    30.0,
+)
 
 
 class AdmissionRejected(Exception):
@@ -87,6 +106,7 @@ class AdmissionController:
         A free slot is always taken immediately — the queue bound only
         applies to requests that would actually have to wait.
         """
+        wait_seconds = 0.0
         acquired = self._slots.acquire(blocking=False)
         if acquired:
             with self._lock:
@@ -96,6 +116,7 @@ class AdmissionController:
             with self._lock:
                 if self._waiting >= self.max_queue:
                     counter(f"{NAMESPACE}.rejected", reason="queue_full").inc()
+                    trace_event("admission.rejected", reason="queue_full")
                     raise AdmissionRejected(
                         429,
                         f"admission queue full ({self._waiting} waiting, "
@@ -104,10 +125,12 @@ class AdmissionController:
                     )
                 self._waiting += 1
                 gauge(f"{NAMESPACE}.queued").set(self._waiting)
+            wait_start = time.perf_counter()
             if timeout is not None and timeout <= 0:
                 acquired = self._slots.acquire(blocking=False)
             else:
                 acquired = self._slots.acquire(timeout=timeout)
+            wait_seconds = time.perf_counter() - wait_start
             with self._lock:
                 self._waiting -= 1
                 gauge(f"{NAMESPACE}.queued").set(self._waiting)
@@ -116,11 +139,18 @@ class AdmissionController:
                     gauge(f"{NAMESPACE}.active").set(self._active)
         if not acquired:
             counter(f"{NAMESPACE}.rejected", reason="timeout").inc()
+            trace_event(
+                "admission.rejected", reason="timeout", waited_s=wait_seconds
+            )
             raise AdmissionRejected(
                 503,
                 f"no execution slot within {timeout:.3f}s",
                 self.retry_after,
             )
+        histogram(
+            f"{NAMESPACE}.queue_wait_seconds", buckets=QUEUE_WAIT_BUCKETS
+        ).observe(wait_seconds)
+        trace_event("admission.admitted", queue_wait_s=wait_seconds)
         try:
             yield
         finally:

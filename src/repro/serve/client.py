@@ -10,6 +10,12 @@ the server's error message, and the parsed ``Retry-After`` hint.
     client = PlanClient("http://127.0.0.1:8780")
     response = client.search(SearchRequest(model="opt-6.7b", devices=8))
     assert response.source in ("computed", "memory", "disk", "coalesced")
+
+Tracing: every call may pin its own id via ``trace_id`` (sent as
+``X-PrimePar-Trace-Id``); ``debug_trace=True`` appends ``?debug=trace`` so
+the response carries its full request record under ``"trace"``
+(:attr:`SearchResponse.trace`), and :meth:`PlanClient.trace` fetches a
+completed record by id later.
 """
 
 from __future__ import annotations
@@ -74,6 +80,8 @@ class SearchResponse:
     cost: float
     model_cost: Optional[float]
     elapsed: float
+    #: Inlined request record when the call asked for ``debug_trace``.
+    trace: Optional[Dict[str, Any]] = None
 
     @classmethod
     def from_json(cls, payload: Dict[str, Any]) -> "SearchResponse":
@@ -88,6 +96,7 @@ class SearchResponse:
             cost=payload["cost"],
             model_cost=payload.get("model_cost"),
             elapsed=payload["elapsed"],
+            trace=payload.get("trace"),
         )
 
 
@@ -149,13 +158,19 @@ class PlanClient:
         method: str,
         path: str,
         body: Optional[Dict[str, Any]] = None,
+        trace_id: Optional[str] = None,
     ) -> urllib.request.addinfourl:
         data = json.dumps(body).encode() if body is not None else None
+        headers: Dict[str, str] = (
+            {"Content-Type": "application/json"} if data else {}
+        )
+        if trace_id is not None:
+            headers["X-PrimePar-Trace-Id"] = trace_id
         request = urllib.request.Request(
             self.base_url + path,
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"} if data else {},
+            headers=headers,
         )
         try:
             return urllib.request.urlopen(request, timeout=self.timeout)
@@ -173,10 +188,18 @@ class PlanClient:
             ) from None
 
     def _json(
-        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, Any]:
-        with self._request(method, path, body) as response:
+        with self._request(method, path, body, trace_id) as response:
             return json.loads(response.read())
+
+    @staticmethod
+    def _with_debug(path: str, debug_trace: bool) -> str:
+        return path + "?debug=trace" if debug_trace else path
 
     # -- endpoints -----------------------------------------------------
 
@@ -188,23 +211,71 @@ class PlanClient:
         with self._request("GET", "/metrics") as response:
             return response.read().decode()
 
-    def search(self, request: SearchRequest) -> SearchResponse:
+    def search(
+        self,
+        request: SearchRequest,
+        trace_id: Optional[str] = None,
+        debug_trace: bool = False,
+    ) -> SearchResponse:
         return SearchResponse.from_json(
-            self._json("POST", "/v1/search", request.to_json())
+            self._json(
+                "POST",
+                self._with_debug("/v1/search", debug_trace),
+                request.to_json(),
+                trace_id=trace_id,
+            )
         )
 
-    def simulate(self, request: SimulateRequest) -> SimulateResponse:
+    def simulate(
+        self,
+        request: SimulateRequest,
+        trace_id: Optional[str] = None,
+    ) -> SimulateResponse:
         return SimulateResponse.from_json(
-            self._json("POST", "/v1/simulate", request.to_json())
+            self._json(
+                "POST", "/v1/simulate", request.to_json(), trace_id=trace_id
+            )
         )
 
-    def plan(self, key: str) -> Optional[SearchResponse]:
+    def explain(
+        self,
+        request: SearchRequest,
+        links: bool = False,
+        trace_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """The plan's cost decomposition (``POST /v1/explain``), as a dict.
+
+        The document's ``components``, folded in ``component_order``,
+        sum bit-exactly to its ``total_cost``.
+        """
+        body = request.to_json()
+        body["links"] = links
+        return self._json("POST", "/v1/explain", body, trace_id=trace_id)
+
+    def plan(
+        self, key: str, debug_trace: bool = False
+    ) -> Optional[SearchResponse]:
         """A stored plan payload by content hash; ``None`` when absent."""
         try:
             return SearchResponse.from_json(
-                self._json("GET", f"/v1/plans/{key}")
+                self._json(
+                    "GET", self._with_debug(f"/v1/plans/{key}", debug_trace)
+                )
             )
         except ServeError as exc:
             if exc.status == 404:
                 return None
             raise
+
+    def trace(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        """A completed request record by trace id; ``None`` when absent."""
+        try:
+            return self._json("GET", f"/v1/traces/{trace_id}")
+        except ServeError as exc:
+            if exc.status == 404:
+                return None
+            raise
+
+    def flightrecorder(self) -> Dict[str, Any]:
+        """The daemon's flight-recorder dump (``GET /debug/flightrecorder``)."""
+        return self._json("GET", "/debug/flightrecorder")

@@ -9,38 +9,68 @@ single-flight coalescing and admission control behind it.  Endpoints:
   ``key`` and ``source``.
 * ``POST /v1/simulate`` — search body + ``engine`` (``analytic``/``event``)
   and ``layers``; returns latency/throughput/memory/breakdown.
+* ``POST /v1/explain``  — search body + ``links`` flag; returns the plan's
+  cost decomposition (:mod:`repro.core.explain`) whose component fold
+  equals the stored cost bit-exactly.
 * ``GET /v1/plans/<key>`` — a previously computed payload by content hash
   (404 on miss).
-* ``GET /healthz``      — liveness + occupancy snapshot; 503 while
-  draining.
+* ``GET /v1/traces/<id>`` — the completed request record for a trace id
+  (404 once it ages out of the bounded trace store).
+* ``GET /healthz``      — liveness + occupancy snapshot + rolling latency
+  quantiles with SLO status; 503 while draining.
 * ``GET /metrics``      — the current metrics registry in Prometheus text
   exposition format (straight from :mod:`repro.obs`).
+* ``GET /debug/flightrecorder`` — the always-on flight recorder's request
+  and process-snapshot rings (also dumped to a temp file on SIGUSR1).
+
+**Tracing.** Every request gets a trace id — the client's
+``X-PrimePar-Trace-Id`` header when well-formed, a fresh uuid otherwise —
+installed thread-locally for the request's whole causal path (plan-store
+tiers, admission wait, coalescing, optimizer spans).  Appending
+``?debug=trace`` to any ``/v1/*`` call inlines the full record into the
+response under ``"trace"``; completed ``/v1/*`` records stay retrievable
+from ``GET /v1/traces/<id>`` until the store wraps.
 
 Overload surfaces as HTTP 429 (queue full) or 503 (slot/deadline timeout),
 both with a ``Retry-After`` header.  Shutdown is graceful: SIGTERM/SIGINT
 stop the accept loop, in-flight requests drain (bounded by
 ``drain_timeout``), then the listener closes.
 
-Every request is logged structured (method, path, status, milliseconds)
-through :mod:`repro.obs.logsetup`; per-endpoint latency histograms
-(``serve.request_seconds``), request counters (``serve.requests``) and an
-in-flight gauge (``serve.http_inflight``) land in the metrics registry.
+Every request is logged structured (method, path, status, plus
+``trace_id``/``duration_ms``/``endpoint``/``status`` fields) through
+:mod:`repro.obs.logsetup`; per-endpoint latency histograms
+(``serve.request_seconds``), request counters (``serve.requests``), an
+in-flight gauge (``serve.http_inflight``) and rolling latency-quantile
+gauges (``serve.latency_ms``) land in the metrics registry.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import signal
+import tempfile
 import threading
 import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from ..core.optimizer.deadline import SearchDeadlineExceeded
+from ..obs.flight import FlightRecorder
 from ..obs.logsetup import get_logger
-from ..obs.metrics import counter, gauge, get_registry, histogram
+from ..obs.metrics import counter, describe, gauge, get_registry, histogram
+from ..obs.quantiles import RollingQuantiles
+from ..obs.reqtrace import (
+    RequestTrace,
+    TraceStore,
+    current_trace,
+    new_trace_id,
+    use_trace,
+    valid_trace_id,
+)
 from .admission import AdmissionController, AdmissionRejected
 from .service import PlanService, RequestError
 from .store import PlanStore, default_store
@@ -54,6 +84,28 @@ MAX_BODY_BYTES = 1 << 20
 LATENCY_BUCKETS = (
     1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1.0, 5.0, 30.0, 120.0,
 )
+
+#: The trace-id request header the daemon honours (case-insensitive).
+TRACE_HEADER = "X-PrimePar-Trace-Id"
+
+#: ``# HELP`` text for the serving layer's metric families.
+METRIC_HELP = {
+    "serve.requests": "HTTP requests by endpoint and status.",
+    "serve.request_seconds": "End-to-end HTTP request latency by endpoint.",
+    "serve.http_inflight": "HTTP requests currently being handled.",
+    "serve.active": "Admitted computations currently holding a slot.",
+    "serve.queued": "Requests currently waiting for an execution slot.",
+    "serve.queue_wait_seconds":
+        "Time admitted requests spent waiting for a slot (0 = fast path).",
+    "serve.rejected": "Requests refused by admission control, by reason.",
+    "serve.coalesced": "Requests answered by another caller's computation.",
+    "serve.searches": "Plan searches actually executed.",
+    "serve.simulations": "Simulation replays actually executed.",
+    "serve.explains": "Cost decompositions actually executed.",
+    "serve.latency_ms":
+        "Rolling-window HTTP latency quantiles (ms) by endpoint.",
+    "plan_store.lookups": "Plan-store lookups by tier (memory/disk/miss).",
+}
 
 
 @dataclass
@@ -69,6 +121,16 @@ class ServeConfig:
     jobs: int = 1
     drain_timeout: float = 10.0
     retry_after: float = 1.0
+    #: Completed request traces retained for ``GET /v1/traces/<id>``.
+    trace_store_size: int = 256
+    #: Flight-recorder request-ring capacity.
+    flight_size: int = 256
+    #: Seconds between flight-recorder process snapshots (0 disables).
+    flight_snapshot_interval: float = 30.0
+    #: Rolling-latency window (requests) behind quantiles and SLO checks.
+    slo_window: int = 256
+    #: p95 latency target in ms for ``/v1/*`` traffic; 0 disables the check.
+    slo_p95_ms: float = 0.0
 
 
 class _PlanHTTPServer(ThreadingHTTPServer):
@@ -108,6 +170,15 @@ class PlanServer:
                 default_deadline=self.config.deadline or None,
             )
         self.service = service
+        self.traces = TraceStore(max_entries=self.config.trace_store_size)
+        self.flight = FlightRecorder(
+            max_requests=self.config.flight_size,
+            snapshot_interval=self.config.flight_snapshot_interval,
+            snapshot_provider=self._flight_snapshot,
+        )
+        self._latency_lock = threading.Lock()
+        self._latency: Dict[str, RollingQuantiles] = {}
+        self._slo = RollingQuantiles(window=self.config.slo_window)
         self._httpd: Optional[_PlanHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
         self._inflight = 0
@@ -115,6 +186,8 @@ class PlanServer:
         self._drained = threading.Condition(self._inflight_lock)
         self._draining = False
         self._stop_requested = threading.Event()
+        for name, text in METRIC_HELP.items():
+            describe(name, text)
 
     # -- lifecycle -----------------------------------------------------
 
@@ -133,6 +206,7 @@ class PlanServer:
             daemon=True,
         )
         self._thread.start()
+        self.flight.start()
         logger.info("serving on http://%s:%d", self.host, self.port)
         return self
 
@@ -190,6 +264,7 @@ class PlanServer:
                 self.config.drain_timeout, self.inflight(),
             )
         self._httpd.server_close()
+        self.flight.stop()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
         logger.info(
@@ -206,6 +281,10 @@ class PlanServer:
         previous = {}
         for signum in (signal.SIGTERM, signal.SIGINT):
             previous[signum] = signal.signal(signum, self._on_signal)
+        if hasattr(signal, "SIGUSR1"):
+            previous[signal.SIGUSR1] = signal.signal(
+                signal.SIGUSR1, self._on_sigusr1
+            )
         try:
             self._stop_requested.wait()
         finally:
@@ -216,6 +295,101 @@ class PlanServer:
 
     def _on_signal(self, signum, frame) -> None:
         self._stop_requested.set()
+
+    def _on_sigusr1(self, signum, frame) -> None:
+        self.dump_flight_recorder()
+
+    def dump_flight_recorder(self) -> Optional[str]:
+        """Write the flight-recorder dump to a temp file; returns its path."""
+        path = os.path.join(
+            tempfile.gettempdir(), f"primepar-flight-{os.getpid()}.json"
+        )
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(self.flight.dump(), handle, indent=1, sort_keys=True)
+        except Exception:
+            logger.exception("flight-recorder dump to %s failed", path)
+            return None
+        logger.info("flight recorder dumped to %s", path)
+        return path
+
+    # -- observability (handler callbacks) -----------------------------
+
+    def _flight_snapshot(self) -> Dict[str, Any]:
+        """Extra per-snapshot state: LRU occupancy, admission depth."""
+        return {
+            "plan_store": self.service.store.stats(),
+            "admission_active": self.service.admission.active,
+            "admission_queued": self.service.admission.waiting,
+            "http_inflight": self.inflight(),
+        }
+
+    def observe_latency(self, endpoint: str, seconds: float) -> None:
+        """Feed the rolling quantile estimators (O(1) — the request hot
+        path; quantile evaluation happens at scrape time)."""
+        with self._latency_lock:
+            rolling = self._latency.get(endpoint)
+            if rolling is None:
+                rolling = self._latency[endpoint] = RollingQuantiles(
+                    window=self.config.slo_window
+                )
+        rolling.observe(seconds * 1e3)
+        if endpoint.startswith("/v1/"):
+            self._slo.observe(seconds * 1e3)
+
+    def latency_snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-endpoint rolling latency quantiles in ms, publishing the
+        ``serve.latency_ms`` gauges as a side effect (scrape time)."""
+        with self._latency_lock:
+            estimators = dict(self._latency)
+        snapshots = {
+            endpoint: rolling.snapshot()
+            for endpoint, rolling in sorted(estimators.items())
+        }
+        for endpoint, snap in snapshots.items():
+            for label in ("p50", "p95", "p99"):
+                gauge(
+                    "serve.latency_ms", endpoint=endpoint, quantile=label
+                ).set(snap[label])
+        return snapshots
+
+    def slo_status(self) -> Dict[str, Any]:
+        """Rolling ``/v1/*`` p95 vs. the configured target."""
+        snap = self._slo.snapshot()
+        target = self.config.slo_p95_ms
+        status = "disabled"
+        if target > 0:
+            p95 = snap["p95"]
+            if snap["count"] == 0 or p95 is None or p95 <= target:
+                status = "ok"
+            else:
+                status = "breach"
+        return {
+            "status": status,
+            "target_p95_ms": target,
+            "window": snap["window"],
+            "count": snap["count"],
+            "p50_ms": snap["p50"],
+            "p95_ms": snap["p95"],
+            "p99_ms": snap["p99"],
+        }
+
+    def complete_request(self, trace: RequestTrace) -> None:
+        """Retain one finished request: trace store + flight recorder."""
+        record = trace.to_dict()
+        if trace.endpoint.startswith("/v1/"):
+            self.traces.put(record)
+        self.flight.record_request(
+            {
+                "trace_id": record["trace_id"],
+                "endpoint": record["endpoint"],
+                "started_unix": record["started_unix"],
+                "duration_ms": record["duration_ms"],
+                "status": record["status"],
+                "outcome": record["outcome"],
+                "key": record["key"],
+            }
+        )
 
     # -- request accounting (handler callbacks) ------------------------
 
@@ -290,12 +464,29 @@ def _make_handler(server: PlanServer):
         def do_POST(self) -> None:  # noqa: N802 (http.server API)
             self._dispatch("POST")
 
+        def _trace_for_request(self) -> RequestTrace:
+            """Adopt the client's trace id when well-formed, else mint one."""
+            supplied = self.headers.get(TRACE_HEADER)
+            if supplied and valid_trace_id(supplied):
+                trace_id = supplied
+            else:
+                trace_id = new_trace_id()
+            endpoint = self.path.split("?", 1)[0].rstrip("/") or "/"
+            return RequestTrace(trace_id, endpoint=endpoint)
+
+        def _debug_trace_requested(self) -> bool:
+            """Whether the request URL carries ``?debug=trace``."""
+            query = parse_qs(urlsplit(self.path).query)
+            return "trace" in query.get("debug", [])
+
         def _dispatch(self, method: str) -> None:
             endpoint, status = self.path, 500
             started = time.perf_counter()
+            trace = self._trace_for_request()
             server._enter_request()
             try:
-                endpoint, status = self._route(method)
+                with use_trace(trace):
+                    endpoint, status = self._route(method)
             except BrokenPipeError:  # client went away mid-response
                 status = 499
             except Exception:
@@ -308,6 +499,9 @@ def _make_handler(server: PlanServer):
             finally:
                 elapsed = time.perf_counter() - started
                 server._exit_request()
+                trace.finish(status)
+                server.complete_request(trace)
+                server.observe_latency(endpoint, elapsed)
                 counter(
                     "serve.requests", endpoint=endpoint, status=status
                 ).inc()
@@ -319,7 +513,23 @@ def _make_handler(server: PlanServer):
                 logger.info(
                     "%s %s -> %d in %.1fms",
                     method, self.path, status, elapsed * 1e3,
+                    extra={
+                        "fields": {
+                            "trace_id": trace.trace_id,
+                            "endpoint": endpoint,
+                            "status": status,
+                            "duration_ms": round(elapsed * 1e3, 3),
+                            "outcome": trace.outcome,
+                        }
+                    },
                 )
+
+        def _attach_debug_trace(
+            self, payload: Dict[str, Any], trace: RequestTrace, status: int
+        ) -> Dict[str, Any]:
+            """Inline the request's own record under ``"trace"``."""
+            trace.finish(status)
+            return {**payload, "trace": trace.to_dict()}
 
         def _route(self, method: str) -> Tuple[str, int]:
             """Handle one request; returns ``(endpoint label, status)``."""
@@ -339,21 +549,43 @@ def _make_handler(server: PlanServer):
                         "active_searches": server.service.admission.active,
                         "queued_searches": server.service.admission.waiting,
                         "plan_store": server.service.store.stats(),
+                        "latency_ms": server.latency_snapshot(),
+                        "slo": server.slo_status(),
                     },
                 )
                 return "/healthz", 200
             if method == "GET" and path == "/metrics":
+                server.latency_snapshot()  # refresh serve.latency_ms gauges
                 self._send_text(200, get_registry().to_prometheus())
                 return "/metrics", 200
+            if method == "GET" and path == "/debug/flightrecorder":
+                self._send_json(200, server.flight.dump())
+                return "/debug/flightrecorder", 200
+            if method == "GET" and path.startswith("/v1/traces/"):
+                trace_id = path[len("/v1/traces/"):]
+                record = server.traces.get(trace_id)
+                if record is None:
+                    self._send_json(
+                        404, {"error": f"no trace for id {trace_id!r}"}
+                    )
+                    return "/v1/traces", 404
+                self._send_json(200, record)
+                return "/v1/traces", 200
             if method == "GET" and path.startswith("/v1/plans/"):
                 key = path[len("/v1/plans/"):]
                 payload = server.service.plan(key)
                 if payload is None:
                     self._send_json(404, {"error": f"no plan for key {key!r}"})
                     return "/v1/plans", 404
+                if self._debug_trace_requested():
+                    trace = current_trace()
+                    if trace is not None:
+                        payload = self._attach_debug_trace(payload, trace, 200)
                 self._send_json(200, payload)
                 return "/v1/plans", 200
-            if method == "POST" and path in ("/v1/search", "/v1/simulate"):
+            if method == "POST" and path in (
+                "/v1/search", "/v1/simulate", "/v1/explain"
+            ):
                 return path, self._execute(path)
             self._send_json(
                 404, {"error": f"no route for {method} {self.path}"}
@@ -371,6 +603,8 @@ def _make_handler(server: PlanServer):
                 body = self._read_body()
                 if path == "/v1/search":
                     payload = server.service.search_from_request(body)
+                elif path == "/v1/explain":
+                    payload = server.service.explain_from_request(body)
                 else:
                     payload = server.service.simulate_from_request(body)
             except RequestError as exc:
@@ -394,6 +628,10 @@ def _make_handler(server: PlanServer):
                     retry_after=server.config.retry_after,
                 )
                 return 503
+            if self._debug_trace_requested():
+                trace = current_trace()
+                if trace is not None:
+                    payload = self._attach_debug_trace(payload, trace, 200)
             self._send_json(200, payload)
             return 200
 

@@ -38,6 +38,7 @@ from ..graph.models import MODELS_BY_KEY
 from ..graph.transformer import build_block_graph
 from ..obs.logsetup import get_logger
 from ..obs.metrics import counter
+from ..obs.reqtrace import current_trace, trace_event
 from .admission import AdmissionController
 from .singleflight import SingleFlight
 from .store import PlanStore, default_store
@@ -173,6 +174,7 @@ class PlanService:
         self.default_deadline = default_deadline
         self._searches = SingleFlight()
         self._simulations = SingleFlight()
+        self._explains = SingleFlight()
 
     # ------------------------------------------------------------------
     # search
@@ -193,8 +195,13 @@ class PlanService:
         ``disk``, ``computed``, ``coalesced``.
         """
         key = params.cache_key()
+        trace = current_trace()
+        if trace is not None:
+            trace.key = key
         value, tier = self.store.get(key)
         if value is not None:
+            if trace is not None:
+                trace.outcome = tier
             return {**value, "key": key, "source": tier}
         deadline = Deadline(deadline_s) if deadline_s else None
 
@@ -212,8 +219,14 @@ class PlanService:
             )
         except FutureTimeoutError:
             counter("serve.rejected", reason="coalesce_timeout").inc()
+            trace_event("coalesce.timeout", key=key)
             raise
-        return {**value, "key": key, "source": "computed" if leader else "coalesced"}
+        source = "computed" if leader else "coalesced"
+        if trace is not None:
+            trace.outcome = source
+        if deadline is not None:
+            trace_event("deadline.slack", remaining_s=deadline.remaining())
+        return {**value, "key": key, "source": source}
 
     def _run_search(
         self, params: SearchParams, deadline: Optional[Deadline]
@@ -236,6 +249,9 @@ class PlanService:
         except SearchDeadlineExceeded:
             counter("serve.rejected", reason="deadline").inc()
             raise
+        trace = current_trace()
+        if trace is not None and result.telemetry:
+            trace.attach_spans(result.telemetry.get("spans") or [])
         logger.info(
             "search %s x%d batch %d: cost %.6g in %.2fs",
             params.model, params.devices, params.batch, result.cost,
@@ -263,9 +279,16 @@ class PlanService:
 
     def plan(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored payload for a content-hash key, or ``None``."""
+        trace = current_trace()
+        if trace is not None:
+            trace.key = key
         value, tier = self.store.get(key)
         if value is None:
+            if trace is not None:
+                trace.outcome = "miss"
             return None
+        if trace is not None:
+            trace.outcome = tier
         return {**value, "key": key, "source": tier}
 
     # ------------------------------------------------------------------
@@ -327,6 +350,86 @@ class PlanService:
             "plan_source": plan_payload["source"],
             "source": "computed" if leader else "coalesced",
         }
+
+    # ------------------------------------------------------------------
+    # explain
+    # ------------------------------------------------------------------
+
+    def explain_from_request(self, body: Mapping[str, Any]) -> Dict[str, Any]:
+        """Validate a raw ``/v1/explain`` body and execute it."""
+        params = SearchParams.from_request(body)
+        links = _field(body, "links", bool, False)
+        return self.explain(
+            params, links, _deadline_seconds(body, self.default_deadline)
+        )
+
+    def explain(
+        self,
+        params: SearchParams,
+        links: bool = False,
+        deadline_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Cost decomposition of the plan for ``params``.
+
+        The plan is resolved through :meth:`search` first (warming and
+        reusing the plan store); the decomposition itself is coalesced per
+        ``(plan key, links)`` and admission-controlled, since the
+        ``links`` variant replays a layer through the event engine.  The
+        document's ``components`` fold equals its ``total_cost``
+        bit-exactly (the plan re-priced through ``OverallCostModel``);
+        the search payload's ``cost`` is echoed as ``plan_cost`` — the
+        DP's own incremental fold, which may differ from re-pricing in
+        the last ulp.
+        """
+        plan_payload = self.search(params, deadline_s)
+        explain_key = diskcache.content_key(
+            "explainrequest", SERVE_SCHEMA, plan_payload["key"], links
+        )
+        deadline = Deadline(deadline_s) if deadline_s else None
+
+        def compute() -> Dict[str, Any]:
+            timeout = deadline.remaining() if deadline else None
+            with self.admission.admit(timeout=timeout):
+                counter("serve.explains").inc()
+                return self._run_explain(params, plan_payload, links)
+
+        value, leader = self._explains.run(
+            explain_key,
+            compute,
+            timeout=deadline.remaining() if deadline else None,
+        )
+        return {
+            **value,
+            "plan_key": plan_payload["key"],
+            "plan_source": plan_payload["source"],
+            "plan_cost": plan_payload["cost"],
+            "source": "computed" if leader else "coalesced",
+        }
+
+    def _run_explain(
+        self,
+        params: SearchParams,
+        plan_payload: Mapping[str, Any],
+        links: bool,
+    ) -> Dict[str, Any]:
+        from ..core.explain import explain_plan
+
+        topology = v100_cluster(params.devices)
+        profiler = FabricProfiler(topology)
+        model = MODELS_BY_KEY[params.model]
+        graph = build_block_graph(model.block_shape(batch=params.batch))
+        plan = {
+            name: _spec_from_string(text, topology.n_bits)
+            for name, text in plan_payload["plan"].items()
+        }
+        return explain_plan(
+            profiler,
+            graph,
+            plan,
+            alpha=params.alpha,
+            include_links=links,
+            global_batch=params.batch,
+        )
 
     def _run_simulation(
         self,

@@ -10,7 +10,10 @@ no second search.  A leader failure propagates its exception to every
 follower, and the key is released so the next request retries fresh.
 
 Followers are counted under ``serve.coalesced`` in the current metrics
-registry.
+registry.  For request tracing, the leader publishes its trace id on the
+shared future (``future.trace_id``); followers record it as a
+``singleflight.follow`` trace event so one coalesced request's trace names
+the trace that actually ran the search.
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ from concurrent.futures import Future
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..obs.metrics import counter
+from ..obs.reqtrace import current_trace, trace_event
 
 #: Metric namespace for coalescing counters.
 NAMESPACE = "serve"
@@ -55,9 +59,17 @@ class SingleFlight:
             leader = future is None
             if leader:
                 future = Future()
+                trace = current_trace()
+                if trace is not None:
+                    future.trace_id = trace.trace_id
                 self._inflight[key] = future
         if not leader:
             counter(f"{NAMESPACE}.coalesced").inc()
+            trace_event(
+                "singleflight.follow",
+                key=key,
+                leader_trace_id=getattr(future, "trace_id", None),
+            )
             return future.result(timeout=timeout), False
         try:
             value = fn()

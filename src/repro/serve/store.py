@@ -23,6 +23,8 @@ from typing import Any, Dict, Optional, Tuple
 
 from .. import cache as diskcache
 from ..cache import MemoryLRU
+from ..obs.metrics import counter
+from ..obs.reqtrace import trace_event
 
 #: Disk-cache kind for serialized plan payloads.
 PLAN_KIND = "plan"
@@ -50,15 +52,26 @@ class PlanStore:
 
     def get(self, key: str) -> Tuple[Optional[Any], Optional[str]]:
         """``(value, tier)`` where tier is ``"memory"``/``"disk"``, or
-        ``(None, None)`` on a full miss."""
+        ``(None, None)`` on a full miss.
+
+        Every lookup lands on ``plan_store.lookups{tier=...}`` (tier
+        ``memory``/``disk``/``miss``) and, when a request trace is
+        active, a ``plan_store.lookup`` trace event.
+        """
         value = self.memory.get(key)
         if value is not None:
+            counter(f"{NAMESPACE}.lookups", tier="memory").inc()
+            trace_event("plan_store.lookup", tier="memory")
             return value, "memory"
         if self.use_disk:
             value = diskcache.load(PLAN_KIND, key)
             if value is not None:
                 self.memory.put(key, value)
+                counter(f"{NAMESPACE}.lookups", tier="disk").inc()
+                trace_event("plan_store.lookup", tier="disk")
                 return value, "disk"
+        counter(f"{NAMESPACE}.lookups", tier="miss").inc()
+        trace_event("plan_store.lookup", tier="miss")
         return None, None
 
     def put(self, key: str, value: Any) -> None:

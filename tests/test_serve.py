@@ -689,6 +689,248 @@ class TestServerBehavior:
 
 
 # ----------------------------------------------------------------------
+# Request tracing, explain, flight recorder — through the HTTP stack
+# ----------------------------------------------------------------------
+
+
+def _component_fold(doc):
+    """Left-associative fold in the document's declared order."""
+    total = 0.0
+    for name in doc["component_order"]:
+        total += doc["components"][name]
+    return total
+
+
+def _wait_for(probe, timeout=30.0):
+    """Poll ``probe`` until it returns a truthy value (returns it).
+
+    Request records, latency observations and flight-recorder entries
+    land *after* the response bytes are written (the handler's finally
+    block), so tests reading them back must allow a brief settle.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        value = probe()
+        if value:
+            return value
+        assert time.monotonic() < deadline, "probe never became truthy"
+        time.sleep(0.01)
+
+
+class TestTracingHTTP:
+    def test_client_trace_id_is_adopted_and_record_retrievable(self, server):
+        client = PlanClient(server.url)
+        response = client.search(
+            SearchRequest(model=MODEL, devices=2, batch=8),
+            trace_id="my-trace-1",
+            debug_trace=True,
+        )
+        assert response.source == "computed"
+        inline = response.trace
+        assert inline["trace_id"] == "my-trace-1"
+        assert inline["endpoint"] == "/v1/search"
+        assert inline["outcome"] == "computed"
+        assert inline["status"] == 200
+        event_names = [e["name"] for e in inline["events"]]
+        assert "plan_store.lookup" in event_names
+        assert "admission.admitted" in event_names
+        # The optimizer's span tree rode along on the same record.
+        assert any(s["path"] == "search" for s in inline["spans"])
+        # And the completed record is retrievable by id afterwards.
+        stored = _wait_for(lambda: client.trace("my-trace-1"))
+        assert stored["trace_id"] == "my-trace-1"
+        assert stored["duration_ms"] > 0.0
+        assert [e["name"] for e in stored["events"]] == event_names
+
+    def test_warm_hit_trace_names_the_tier(self, server):
+        client = PlanClient(server.url)
+        request = SearchRequest(model=MODEL, devices=2, batch=8)
+        client.search(request)
+        warm = client.search(request, debug_trace=True)
+        assert warm.source == "memory"
+        assert warm.trace["outcome"] == "memory"
+        lookups = [
+            e for e in warm.trace["events"] if e["name"] == "plan_store.lookup"
+        ]
+        assert lookups and lookups[0]["attrs"]["tier"] == "memory"
+
+    def test_unknown_trace_id_is_404_then_none(self, server):
+        client = PlanClient(server.url)
+        assert client.trace("0123456789abcdef") is None
+        with pytest.raises(ServeError) as err:
+            client._json("GET", "/v1/traces/0123456789abcdef")
+        assert err.value.status == 404
+
+    def test_invalid_header_id_gets_a_server_generated_one(self, server):
+        client = PlanClient(server.url)
+        response = client.search(
+            SearchRequest(model=MODEL, devices=2, batch=8),
+            trace_id="not a valid id!",
+            debug_trace=True,
+        )
+        assert response.trace["trace_id"] != "not a valid id!"
+        assert len(response.trace["trace_id"]) == 32  # fresh uuid4 hex
+
+    def test_coalesced_follower_records_leader_trace_id(self, server):
+        entered, release = _gate_search(server.service)
+        client = PlanClient(server.url)
+        request = SearchRequest(model=MODEL, devices=2, batch=8)
+        responses = {}
+
+        def call(role, **kwargs):
+            responses[role] = client.search(request, **kwargs)
+
+        leader = threading.Thread(
+            target=call, args=("leader",), kwargs={"trace_id": "leader-1"}
+        )
+        leader.start()
+        assert entered.wait(timeout=60.0)
+        follower = threading.Thread(
+            target=call,
+            args=("follower",),
+            kwargs={"trace_id": "follower-1", "debug_trace": True},
+        )
+        follower.start()
+        deadline = time.monotonic() + 60.0
+        while counter("serve.coalesced").value < 1:
+            assert time.monotonic() < deadline, "follower never joined"
+            time.sleep(0.005)
+        release.set()
+        leader.join(timeout=120.0)
+        follower.join(timeout=120.0)
+        assert responses["follower"].source == "coalesced"
+        follows = [
+            e
+            for e in responses["follower"].trace["events"]
+            if e["name"] == "singleflight.follow"
+        ]
+        assert len(follows) == 1
+        assert follows[0]["attrs"]["leader_trace_id"] == "leader-1"
+        # Both causal paths remain retrievable by their own ids.
+        leader_record = _wait_for(lambda: client.trace("leader-1"))
+        assert leader_record["outcome"] == "computed"
+        follower_record = _wait_for(lambda: client.trace("follower-1"))
+        assert follower_record["outcome"] == "coalesced"
+
+    def test_queue_wait_histogram_and_tiered_lookups_exposed(self, server):
+        client = PlanClient(server.url)
+        client.search(SearchRequest(model=MODEL, devices=2, batch=8))
+        text = client.metrics()
+        assert "primepar_serve_queue_wait_seconds_bucket" in text
+        assert "primepar_serve_queue_wait_seconds_count" in text
+        assert 'primepar_plan_store_lookups{tier="miss"}' in text
+
+    def test_healthz_reports_latency_and_slo_sections(self, server):
+        client = PlanClient(server.url)
+        client.search(SearchRequest(model=MODEL, devices=2, batch=8))
+        health = _wait_for(
+            lambda: (h := client.healthz())
+            and "/v1/search" in h["latency_ms"]
+            and h
+        )
+        search_latency = health["latency_ms"]["/v1/search"]
+        assert search_latency["count"] >= 1.0
+        assert search_latency["p95"] > 0.0
+        slo = health["slo"]
+        assert slo["status"] == "disabled"  # no target configured
+        assert slo["count"] >= 1.0
+
+    def test_slo_breach_when_target_unmeetable(self, fresh_cache, registry):
+        config = ServeConfig(port=0, slo_p95_ms=1e-6)
+        server = PlanServer(config, service=_service()).start()
+        try:
+            client = PlanClient(server.url)
+            client.search(SearchRequest(model=MODEL, devices=2, batch=8))
+            slo = _wait_for(
+                lambda: (s := client.healthz()["slo"])["count"] >= 1 and s
+            )
+            assert slo["status"] == "breach"
+            assert slo["target_p95_ms"] == 1e-6
+            assert slo["p95_ms"] > 1e-6
+        finally:
+            server.shutdown()
+
+    def test_flightrecorder_endpoint_contract(self, server):
+        client = PlanClient(server.url)
+        client.search(
+            SearchRequest(model=MODEL, devices=2, batch=8),
+            trace_id="flight-req-1",
+        )
+        dump = _wait_for(
+            lambda: (d := client.flightrecorder())
+            and any(
+                r["trace_id"] == "flight-req-1" for r in d["requests"]
+            )
+            and d
+        )
+        assert dump["schema"] == 1
+        assert dump["requests_dropped"] == 0
+        by_id = {r["trace_id"]: r for r in dump["requests"]}
+        record = by_id["flight-req-1"]
+        assert record["endpoint"] == "/v1/search"
+        assert record["status"] == 200
+        assert record["outcome"] == "computed"
+        assert record["duration_ms"] > 0.0
+        # The dump-time snapshot folds in the host's gauges.
+        snapshot = dump["snapshots"][-1]
+        assert snapshot["plan_store"]["entries"] >= 1
+        assert snapshot["admission_active"] == 0
+        assert snapshot["http_inflight"] >= 1  # this request itself
+
+    def test_dump_flight_recorder_writes_json(self, server):
+        path = server.dump_flight_recorder()
+        assert path is not None
+        with open(path, "r", encoding="utf-8") as handle:
+            assert json.load(handle)["schema"] == 1
+
+
+class TestExplainHTTP:
+    def test_explain_components_fold_bit_exactly(self, server):
+        client = PlanClient(server.url)
+        request = SearchRequest(model=MODEL, devices=2, batch=8)
+        doc = client.explain(request)
+        assert doc["kind"] == "plan"
+        assert _component_fold(doc) == doc["total_cost"]
+        assert doc["plan_source"] in ("computed", "memory", "disk")
+        assert doc["source"] == "computed"
+        # The stored payload's cost is echoed so callers can see the
+        # (documented) one-ulp DP-fold vs re-priced-objective caveat.
+        assert doc["plan_cost"] == pytest.approx(doc["total_cost"], rel=1e-12)
+        # Second call: the plan itself is served from the LRU now, and
+        # the recomputed decomposition is bit-identical.
+        again = client.explain(request)
+        assert again["plan_source"] == "memory"
+        assert again["total_cost"] == doc["total_cost"]
+        assert again["components"] == doc["components"]
+
+    def test_explain_with_link_attribution(self, server):
+        client = PlanClient(server.url)
+        doc = client.explain(
+            SearchRequest(model=MODEL, devices=2, batch=8), links=True
+        )
+        assert doc["links"]["engine"] == "event"
+        assert isinstance(doc["links"]["link_bytes"], dict)
+        assert _component_fold(doc) == doc["total_cost"]
+
+    def test_explain_rejects_malformed_body(self, server):
+        client = PlanClient(server.url)
+        with pytest.raises(ServeError) as err:
+            client._json(
+                "POST", "/v1/explain", {"devices": 2, "links": "yes"}
+            )
+        assert err.value.status == 400
+
+    def test_explain_is_traced(self, server):
+        client = PlanClient(server.url)
+        client.explain(
+            SearchRequest(model=MODEL, devices=2, batch=8),
+            trace_id="explain-trace-1",
+        )
+        stored = _wait_for(lambda: client.trace("explain-trace-1"))
+        assert stored["endpoint"] == "/v1/explain"
+
+
+# ----------------------------------------------------------------------
 # CLI surface: cache tiers + serve flags
 # ----------------------------------------------------------------------
 
@@ -705,6 +947,11 @@ class TestServeCLI:
         assert args.lru_size == 256
         assert args.deadline == 120.0
         assert args.drain_timeout == 10.0
+        assert args.trace_store_size == 256
+        assert args.flight_size == 256
+        assert args.flight_snapshot_interval == 30.0
+        assert args.slo_window == 256
+        assert args.slo_p95_ms == 0.0
 
     def test_cache_stats_reports_memory_tier(
         self, fresh_cache, registry, capsys
@@ -746,6 +993,16 @@ class TestServeCLI:
         assert "cache tiers" in out
         assert "memory (LRU)" in out
         assert "disk" in out
+
+    def test_report_empty_registry_says_so(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps(
+            {"counters": [], "gauges": [], "histograms": [], "spans": []}
+        ))
+        assert main(["report", str(path)]) == 0
+        assert "no metrics recorded" in capsys.readouterr().out
 
 
 # ----------------------------------------------------------------------
