@@ -1,0 +1,279 @@
+"""Fault-aware robustness: tail latency of partition plans under faults.
+
+Scores the PrimePar plan for one headline setting under four fault
+classes — compute-only (stragglers), link-only (degraded NIC pools),
+outage-only (checkpoint/restart recovery) and a mixed model — and records
+the Monte-Carlo percentiles and per-class attribution for each.  Two
+structural checks ride along:
+
+* **determinism** — the mixed-class report must be bit-identical when the
+  scenario fan-out runs serially and with ``--jobs`` workers (the seeded
+  draw + submission-order merge contract of
+  :func:`repro.sim.faults.evaluate_robustness`);
+* **objective_ranking** — the plan portfolio (primepar / conventional /
+  megatron) ranked under ``nominal`` vs ``p99`` on the mixed model,
+  recording both winners (the paper-level point: the nominal-optimal plan
+  need not be the tail-optimal one).
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_robustness.py           # full
+    PYTHONPATH=src python benchmarks/bench_robustness.py --smoke   # CI-sized
+
+or as a pytest benchmark (``pytest benchmarks/bench_robustness.py``, runs
+the smoke configuration).  Results land in
+``benchmarks/results/BENCH_robustness.json`` and are gated by
+``tools/bench_compare.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from conftest import ALPHA, RESULTS_DIR, beam_for, jobs_for
+
+from repro import (
+    FabricProfiler,
+    PrimeParOptimizer,
+    build_block_graph,
+    v100_cluster,
+)
+from repro.graph.models import OPT_6_7B, OPT_175B
+from repro.sim.faults import FaultModel, evaluate_robustness, robust_search
+
+#: The four fault classes scored against the same plan.
+FAULT_CLASSES: Dict[str, str] = {
+    "compute": "straggler=0.6:1.8",
+    "link": "degrade=0.6:0.5",
+    "outage": "outage=0.5,ckpt=16,restart=30,replan=5",
+    "mixed": (
+        "straggler=0.3:1.6,degrade=0.3:0.6,flap=0.5:0.002:0.25,"
+        "outage=0.1,ckpt=16,restart=30,replan=5"
+    ),
+}
+
+
+def _class_entry(report, spec: str, seconds: float) -> Dict:
+    return {
+        "spec": spec,
+        "p50": report.p50,
+        "p95": report.p95,
+        "p99": report.p99,
+        "mean_latency": report.mean_latency,
+        "worst_latency": report.worst_latency,
+        "attribution": dict(report.attribution),
+        "expected_recovery_cost": report.expected_recovery_cost,
+        "outage_scenarios": report.outage_scenarios,
+        "wall_seconds": seconds,
+    }
+
+
+def run_benchmark(
+    smoke: bool = False,
+    jobs: Optional[int] = None,
+    out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
+) -> Dict:
+    jobs = jobs if jobs is not None else (jobs_for() if jobs_for() > 1 else 2)
+    model = OPT_6_7B if smoke else OPT_175B
+    # Two GPUs per node keeps even the smoke cluster multi-node, so the
+    # link fault class has NIC pools to degrade.
+    n_devices, gpus_per_node = (4, 2) if smoke else (32, 4)
+    batch = 8 if smoke else 32
+    n_layers = 4 if smoke else 8
+    scenarios = 6 if smoke else 24
+    seed = 0
+
+    saved_env = os.environ.get("PRIMEPAR_CACHE_DIR")
+    workdir = tempfile.mkdtemp(prefix="primepar-robustness-")
+    os.environ["PRIMEPAR_CACHE_DIR"] = workdir
+    try:
+        profiler = FabricProfiler(
+            v100_cluster(n_devices, gpus_per_node=gpus_per_node)
+        )
+        graph = build_block_graph(model.block_shape(batch=batch))
+        beam = beam_for(n_devices)
+        plan = PrimeParOptimizer(
+            profiler, alpha=ALPHA, beam=beam
+        ).optimize(graph, n_layers=model.n_layers).plan
+
+        classes: Dict[str, Dict] = {}
+        nominal_latency = None
+        for label, spec in FAULT_CLASSES.items():
+            fault_model = FaultModel.from_spec(spec)
+            started = time.perf_counter()
+            report = evaluate_robustness(
+                profiler, graph, plan, batch, n_layers, fault_model,
+                scenarios=scenarios, seed=seed, jobs=1,
+            )
+            classes[label] = _class_entry(
+                report, spec, time.perf_counter() - started
+            )
+            nominal_latency = report.nominal_latency
+
+        mixed_model = FaultModel.from_spec(FAULT_CLASSES["mixed"])
+        started = time.perf_counter()
+        parallel_report = evaluate_robustness(
+            profiler, graph, plan, batch, n_layers, mixed_model,
+            scenarios=scenarios, seed=seed, jobs=jobs,
+        )
+        parallel_seconds = time.perf_counter() - started
+        serial_json = json.dumps(
+            {**classes["mixed"], "wall_seconds": 0.0}, sort_keys=True
+        )
+        parallel_json = json.dumps(
+            {
+                **_class_entry(
+                    parallel_report, FAULT_CLASSES["mixed"], 0.0
+                ),
+            },
+            sort_keys=True,
+        )
+
+        ranked = robust_search(
+            profiler, graph,
+            global_batch=batch, n_layers=model.n_layers,
+            fault_model=mixed_model, objective="p99",
+            scenarios=scenarios, seed=seed, sim_layers=n_layers,
+            alpha=ALPHA, beam=beam, jobs=1,
+        )
+        by_nominal = sorted(
+            ranked.candidates,
+            key=lambda c: (c.report.score("nominal"), c.label),
+        )
+        payload = {
+            "schema": 1,
+            "smoke": smoke,
+            "config": {
+                "model": model.name,
+                "devices": n_devices,
+                "batch": batch,
+                "layers": n_layers,
+                "scenarios": scenarios,
+                "seed": seed,
+                "jobs": jobs,
+            },
+            "nominal_latency": nominal_latency,
+            "fault_classes": classes,
+            "determinism": {
+                "jobs": jobs,
+                "serial_equals_parallel": serial_json == parallel_json,
+                "parallel_seconds": parallel_seconds,
+            },
+            "objective_ranking": {
+                "nominal_winner": by_nominal[0].label,
+                "p99_winner": ranked.best.label,
+                "candidates": {
+                    c.label: {
+                        "nominal": c.report.score("nominal"),
+                        "p99": c.report.score("p99"),
+                    }
+                    for c in ranked.candidates
+                },
+            },
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+        if saved_env is None:
+            os.environ.pop("PRIMEPAR_CACHE_DIR", None)
+        else:
+            os.environ["PRIMEPAR_CACHE_DIR"] = saved_env
+    out_path = Path(out) if out else RESULTS_DIR / "BENCH_robustness.json"
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    if metrics_out:
+        from repro.obs import write_metrics
+
+        Path(metrics_out).parent.mkdir(parents=True, exist_ok=True)
+        write_metrics(metrics_out)
+    return payload
+
+
+def _report(payload: Dict) -> str:
+    config = payload["config"]
+    lines = [
+        f"{config['model']} on {config['devices']} devices, batch "
+        f"{config['batch']}, {config['layers']} layers, "
+        f"{config['scenarios']} scenarios (seed {config['seed']})"
+        + (" (smoke)" if payload["smoke"] else ""),
+        f"  nominal: {payload['nominal_latency'] * 1e3:.2f}ms",
+    ]
+    for label, entry in payload["fault_classes"].items():
+        lines.append(
+            f"  {label:8s} p50 {entry['p50'] * 1e3:.2f}ms  "
+            f"p95 {entry['p95'] * 1e3:.2f}ms  "
+            f"p99 {entry['p99'] * 1e3:.2f}ms  "
+            f"(compute {entry['attribution']['compute'] * 1e3:.2f} / "
+            f"link {entry['attribution']['link'] * 1e3:.2f} / "
+            f"recovery {entry['attribution']['recovery'] * 1e3:.2f}ms)"
+        )
+    det = payload["determinism"]
+    lines.append(
+        f"  determinism: serial == x{det['jobs']} workers -> "
+        f"{det['serial_equals_parallel']}"
+    )
+    ranking = payload["objective_ranking"]
+    lines.append(
+        f"  objective ranking: nominal winner {ranking['nominal_winner']}, "
+        f"p99 winner {ranking['p99_winner']}"
+    )
+    return "\n".join(lines)
+
+
+def test_robustness_smoke(benchmark):
+    payload = benchmark.pedantic(
+        lambda: run_benchmark(smoke=True), rounds=1, iterations=1
+    )
+    sys.__stdout__.write("\n===== BENCH_robustness (smoke) =====\n")
+    sys.__stdout__.write(_report(payload) + "\n")
+    sys.__stdout__.flush()
+    assert payload["determinism"]["serial_equals_parallel"]
+    nominal = payload["nominal_latency"]
+    for label, entry in payload["fault_classes"].items():
+        assert entry["p99"] >= nominal, (label, entry["p99"], nominal)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized run: OPT-6.7B on 4 devices, 6 scenarios",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes for the parallel determinism check "
+             "(default: REPRO_BENCH_JOBS or 2)",
+    )
+    parser.add_argument(
+        "--out", default="",
+        help="output JSON path "
+             "(default benchmarks/results/BENCH_robustness.json)",
+    )
+    parser.add_argument(
+        "--metrics-out", default="", metavar="PATH",
+        help="also dump the telemetry registry (metrics + spans) as JSON",
+    )
+    args = parser.parse_args(argv)
+    payload = run_benchmark(
+        smoke=args.smoke, jobs=args.jobs or None, out=args.out or None,
+        metrics_out=args.metrics_out or None,
+    )
+    print(_report(payload))
+    out = args.out or str(RESULTS_DIR / "BENCH_robustness.json")
+    print(f"written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

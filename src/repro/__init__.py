@@ -28,6 +28,13 @@ see :mod:`repro.obs` (``configure_logging``, ``get_registry``, ``span``)
 for the telemetry layer behind them.
 """
 
+from .api import (
+    ExplainRequest,
+    RobustnessRequest,
+    SearchRequest,
+    SimulateRequest,
+    ValidationError,
+)
 from .cluster.profiler import FabricProfiler
 from .cluster.topology import ClusterTopology, torus_cluster, v100_cluster
 from .core.dims import Dim, Phase
@@ -46,6 +53,12 @@ from .parallel3d.planner import Config3D, Planner3D, enumerate_configs
 from .runtime.verify import VerificationReport, verify_spec
 from .sim.engine import EventDrivenSimulator
 from .sim.executor import IterationReport, TrainingSimulator
+from .sim.faults import (
+    FaultModel,
+    RobustnessReport,
+    evaluate_robustness,
+    robust_search,
+)
 
 __version__ = "1.0.0"
 
@@ -57,7 +70,9 @@ __all__ = [
     "Dim",
     "DimPartition",
     "EventDrivenSimulator",
+    "ExplainRequest",
     "FabricProfiler",
+    "FaultModel",
     "IterationReport",
     "MODELS_BY_KEY",
     "ModelConfig",
@@ -66,15 +81,22 @@ __all__ = [
     "Planner3D",
     "PrimeParOptimizer",
     "Replicate",
+    "RobustnessReport",
+    "RobustnessRequest",
+    "SearchRequest",
     "SearchResult",
+    "SimulateRequest",
     "TemporalPartition",
     "TrainingSimulator",
+    "ValidationError",
     "VerificationReport",
     "build_block_graph",
     "build_mlp_graph",
     "configure_logging",
     "enumerate_configs",
+    "evaluate_robustness",
     "parse_sequence",
+    "robust_search",
     "torus_cluster",
     "v100_cluster",
     "verify_spec",

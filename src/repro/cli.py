@@ -7,8 +7,14 @@ Installed as the ``primepar`` console script::
     primepar compare  --model bloom-176b --devices 16 --batch 16
     primepar sweep3d  --model llama2-70b --devices 32 --batch 32
     primepar simulate --model opt-6.7b --devices 8 --engine event --trace out.json
+    primepar faults   --model opt-175b --devices 32 --faults straggler=0.2:1.8
     primepar serve    --port 8780 --max-concurrent 2 --lru-size 256
     primepar report   metrics.json
+
+Requests are validated through the canonical :mod:`repro.api` dataclasses
+— the same schema the serving daemon and :class:`repro.serve.PlanClient`
+speak — so a bad ``--devices`` fails with the identical message in every
+front-end (exit code 2).
 
 Global observability flags: ``--log-level``/``--log-json`` configure the
 structured logger (stderr; result tables stay on stdout), and ``search`` /
@@ -30,11 +36,15 @@ from . import (
     PartitionSpec,
     Planner3D,
     PrimeParOptimizer,
+    RobustnessRequest,
+    SearchRequest,
     TrainingSimulator,
+    ValidationError,
     build_block_graph,
     v100_cluster,
     verify_spec,
 )
+from .api import OBJECTIVES
 from .baselines.alpa import alpa_optimizer
 from .baselines.megatron import best_megatron_plan
 from .graph.models import MODELS_BY_KEY
@@ -85,12 +95,30 @@ def _add_metrics_out(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _request_for(args) -> SearchRequest:
+    """The common CLI knobs, validated through the canonical request type.
+
+    Raises :class:`repro.ValidationError` (handled in :func:`main` with
+    exit code 2) with the exact message the serving daemon would return.
+    """
+    return SearchRequest.from_json(
+        {
+            "model": args.model,
+            "devices": args.devices,
+            "batch": args.batch,
+            "alpha": args.alpha,
+            "beam": getattr(args, "beam", 0),
+            "include_temporal": not getattr(args, "no_temporal", False),
+        }
+    )
+
+
 def _setting(args):
-    model = MODELS_BY_KEY[args.model]
-    batch = args.batch or max(8, min(args.devices, 32))
-    profiler = FabricProfiler(v100_cluster(args.devices))
-    graph = build_block_graph(model.block_shape(batch=batch))
-    return model, batch, profiler, graph
+    request = _request_for(args)
+    model = MODELS_BY_KEY[request.model]
+    profiler = FabricProfiler(v100_cluster(request.devices))
+    graph = build_block_graph(model.block_shape(batch=request.batch))
+    return model, request.batch, profiler, graph
 
 
 def _write_metrics_if_requested(args) -> None:
@@ -233,8 +261,46 @@ def _emit_utilization(report, n_layers: int) -> None:
         )
 
 
+def _emit_fault_replay(args, profiler, graph, plan, batch, n_layers, report):
+    """Replay one sampled fault scenario on top of a nominal simulation."""
+    from .sim.faults import FaultModel, simulate_scenario
+
+    fault_model = FaultModel.from_spec(args.faults)
+    scenario = fault_model.sample(
+        profiler.topology, args.scenario, args.seed, horizon=report.latency
+    )
+    outcome = simulate_scenario(
+        profiler, graph, plan, batch, n_layers, scenario,
+        fault_model.recovery, report.latency,
+    )
+    rows = [
+        ["nominal", f"{outcome.nominal_latency * 1e3:.3f}"],
+        ["compute delay", f"{outcome.compute_delay * 1e3:.3f}"],
+        ["link delay", f"{outcome.link_delay * 1e3:.3f}"],
+        ["recovery delay", f"{outcome.recovery_delay * 1e3:.3f}"],
+        ["faulted", f"{outcome.latency * 1e3:.3f}"],
+    ]
+    emit(
+        "",
+        format_table(
+            ["component", "ms"], rows,
+            title=(
+                f"fault scenario {scenario.index} (seed {args.seed}): "
+                f"{len(scenario.stragglers)} straggler(s), "
+                f"{len(scenario.degraded_links)} degraded link(s), "
+                f"{len(scenario.nic_flaps)} flap(s), "
+                f"outage={'yes' if scenario.outage else 'no'}"
+            ),
+        ),
+    )
+
+
 def cmd_simulate(args) -> int:
     model, batch, profiler, graph = _setting(args)
+    if args.faults and args.engine != "event":
+        raise ValidationError(
+            "--faults requires the event engine (--engine event)", "engine"
+        )
     if args.plan == "megatron":
         plan = best_megatron_plan(
             TrainingSimulator(profiler), graph, batch, model.n_layers
@@ -279,6 +345,10 @@ def cmd_simulate(args) -> int:
     ]
     emit(format_table(["kernel kind", "total ms"], rows))
     _emit_utilization(report, n_layers)
+    if args.faults:
+        _emit_fault_replay(
+            args, profiler, graph, plan, batch, n_layers, report
+        )
     if args.trace:
         from .sim.trace import write_trace
 
@@ -461,6 +531,85 @@ def cmd_explain(args) -> int:
         emit(json.dumps(doc, indent=1, sort_keys=True))
         return 0
     emit_explanation(doc)
+    _write_metrics_if_requested(args)
+    return 0
+
+
+def cmd_faults(args) -> int:
+    from .sim.faults import FaultModel, robust_search
+
+    request = RobustnessRequest.from_json(
+        {
+            "model": args.model,
+            "devices": args.devices,
+            "batch": args.batch,
+            "alpha": args.alpha,
+            "beam": args.beam,
+            "faults": args.faults,
+            "scenarios": args.scenarios,
+            "seed": args.seed,
+            "objective": args.objective,
+            "blend": args.blend,
+            "layers": args.layers,
+        }
+    )
+    fault_model = FaultModel.from_spec(args.faults)
+    model = MODELS_BY_KEY[request.search.model]
+    batch = request.search.batch
+    profiler = FabricProfiler(v100_cluster(request.search.devices))
+    graph = build_block_graph(model.block_shape(batch=batch))
+    sim_layers = request.layers or model.n_layers
+    logger.info(
+        "robust search for %s on %d devices (%d scenarios, seed %d, "
+        "objective %s)",
+        model.name, request.search.devices, request.scenarios, request.seed,
+        request.objective,
+    )
+    result = robust_search(
+        profiler,
+        graph,
+        global_batch=batch,
+        n_layers=model.n_layers,
+        fault_model=fault_model,
+        objective=request.objective,
+        blend=request.blend,
+        scenarios=request.scenarios,
+        seed=request.seed,
+        sim_layers=sim_layers,
+        alpha=request.search.alpha,
+        beam=request.search.beam or None,
+        jobs=args.jobs,
+    )
+    if args.json:
+        emit(json.dumps(result.to_json(), indent=1, sort_keys=True))
+        return 0
+    rows = [
+        [
+            candidate.label,
+            f"{candidate.report.nominal_latency * 1e3:.3f}",
+            f"{candidate.report.p50 * 1e3:.3f}",
+            f"{candidate.report.p95 * 1e3:.3f}",
+            f"{candidate.report.p99 * 1e3:.3f}",
+            f"{candidate.report.expected_recovery_cost * 1e3:.3f}",
+            f"{candidate.score * 1e3:.3f}",
+        ]
+        for candidate in result.candidates
+    ]
+    emit(
+        format_table(
+            [
+                "plan", "nominal ms", "p50 ms", "p95 ms", "p99 ms",
+                "E[recovery] ms", f"{request.objective} score ms",
+            ],
+            rows,
+            title=(
+                f"{model.name} on {request.search.devices} devices, "
+                f"{sim_layers} layers, {request.scenarios} scenarios "
+                f"(seed {request.seed})"
+            ),
+        )
+    )
+    emit(f"\nbest plan under {request.objective}: {result.best.label}")
     _write_metrics_if_requested(args)
     return 0
 
@@ -792,8 +941,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile the simulation with cProfile and dump pstats here "
              "(inspect with `python -m pstats PATH`)",
     )
+    simulate.add_argument(
+        "--faults", default="", metavar="SPEC",
+        help="replay one sampled fault scenario on top of the nominal run "
+             '(e.g. "straggler=0.5:1.8,degrade=0.3:0.5"; @file.json loads '
+             "a fault model; requires --engine event)",
+    )
+    simulate.add_argument(
+        "--scenario", type=int, default=0,
+        help="fault scenario index to sample (default 0)",
+    )
+    simulate.add_argument(
+        "--seed", type=int, default=0,
+        help="fault sampling seed (default 0)",
+    )
     _add_metrics_out(simulate)
     simulate.set_defaults(func=cmd_simulate)
+
+    faults = sub.add_parser(
+        "faults",
+        help="rank plans by tail latency under a seeded fault model",
+    )
+    _add_common(faults)
+    faults.add_argument(
+        "--faults", default="", metavar="SPEC",
+        help='fault model, e.g. "straggler=0.2:1.8,degrade=0.3:0.5,'
+             'flap=0.5:0.002:0.25,outage=0.05,ckpt=16,restart=30,replan=5"; '
+             "@file.json loads a JSON fault model (default: zero faults)",
+    )
+    faults.add_argument(
+        "--scenarios", type=int, default=16,
+        help="Monte-Carlo fault scenarios per plan (default 16)",
+    )
+    faults.add_argument(
+        "--seed", type=int, default=0,
+        help="scenario sampling seed; same seed + plan reproduces the "
+             "report bit-identically at any --jobs (default 0)",
+    )
+    faults.add_argument(
+        "--objective", choices=OBJECTIVES, default="p99",
+        help="ranking objective (default p99)",
+    )
+    faults.add_argument(
+        "--blend", type=float, default=0.5,
+        help="nominal/p99 interpolation for --objective blend (default 0.5)",
+    )
+    faults.add_argument(
+        "--layers", type=int, default=8,
+        help="layers per robustness replay (default 8; 0 = full depth)",
+    )
+    faults.add_argument(
+        "--json", action="store_true",
+        help="print the schema-stable robust-search JSON instead of tables",
+    )
+    _add_metrics_out(faults)
+    faults.set_defaults(func=cmd_faults)
 
     explain = sub.add_parser(
         "explain", help="decompose a plan's predicted iteration cost"
@@ -912,7 +1114,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     configure_logging(level=args.log_level, json_mode=args.log_json)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ValidationError as exc:
+        logger.error("invalid request: %s", exc)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - direct invocation

@@ -23,11 +23,23 @@ causal path (store tier, queue wait, coalescing, optimizer spans) —
 later; an always-on :class:`repro.obs.FlightRecorder` keeps the last N
 requests + process snapshots behind ``GET /debug/flightrecorder`` and
 SIGUSR1; ``POST /v1/explain`` serves bit-exact plan-cost decompositions.
+
+Unified request API (PR 9): request bodies are the versioned, frozen
+dataclasses of :mod:`repro.api` (``SearchRequest``, ``SimulateRequest``,
+``ExplainRequest``, ``RobustnessRequest``) — the CLI, this daemon and
+:class:`PlanClient` all validate and serialize through them.
+``SearchParams`` remains importable here as a deprecated alias of
+:class:`repro.api.SearchRequest` for one release. ``POST /v1/robustness``
+scores a searched plan's tail latency under a seeded fault model
+(:mod:`repro.sim.faults`).
 """
 
 from .admission import AdmissionController, AdmissionRejected
 from .client import (
+    ExplainRequest,
     PlanClient,
+    RobustnessRequest,
+    RobustnessResponse,
     SearchRequest,
     SearchResponse,
     ServeError,
@@ -42,11 +54,14 @@ from .store import PlanStore, default_store, reset_default_store
 __all__ = [
     "AdmissionController",
     "AdmissionRejected",
+    "ExplainRequest",
     "PlanClient",
     "PlanServer",
     "PlanService",
     "PlanStore",
     "RequestError",
+    "RobustnessRequest",
+    "RobustnessResponse",
     "SearchParams",
     "SearchRequest",
     "SearchResponse",

@@ -23,8 +23,17 @@ from __future__ import annotations
 import json
 import urllib.error
 import urllib.request
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Optional
+
+# Request bodies are the canonical repro.api types — the client serializes
+# exactly what the server validates (same schema_version, same defaults).
+from ..api import (  # noqa: F401  (re-exported for callers)
+    ExplainRequest,
+    RobustnessRequest,
+    SearchRequest,
+    SimulateRequest,
+)
 
 DEFAULT_TIMEOUT = 300.0
 
@@ -39,31 +48,6 @@ class ServeError(Exception):
         self.status = status
         self.message = message
         self.retry_after = retry_after
-
-
-@dataclass
-class SearchRequest:
-    """Body of ``POST /v1/search`` (defaults mirror the server's)."""
-
-    model: str = "opt-6.7b"
-    devices: int = 8
-    batch: int = 0
-    alpha: float = 2e-11
-    beam: int = 0
-    include_temporal: bool = True
-    #: Per-request wall-clock budget in seconds (0 = the server default).
-    deadline: float = 0.0
-
-    def to_json(self) -> Dict[str, Any]:
-        return {
-            "model": self.model,
-            "devices": self.devices,
-            "batch": self.batch,
-            "alpha": self.alpha,
-            "beam": self.beam,
-            "include_temporal": self.include_temporal,
-            "deadline": self.deadline,
-        }
 
 
 @dataclass
@@ -101,21 +85,6 @@ class SearchResponse:
 
 
 @dataclass
-class SimulateRequest:
-    """Body of ``POST /v1/simulate`` — a search request plus replay knobs."""
-
-    search: SearchRequest = field(default_factory=SearchRequest)
-    engine: str = "analytic"
-    layers: int = 0
-
-    def to_json(self) -> Dict[str, Any]:
-        body = self.search.to_json()
-        body["engine"] = self.engine
-        body["layers"] = self.layers
-        return body
-
-
-@dataclass
 class SimulateResponse:
     """One simulated training iteration of the searched plan."""
 
@@ -142,6 +111,50 @@ class SimulateResponse:
             peak_memory_bytes=payload["peak_memory_bytes"],
             breakdown=dict(payload["breakdown"]),
         )
+
+
+@dataclass
+class RobustnessResponse:
+    """A plan's Monte-Carlo robustness score (``POST /v1/robustness``).
+
+    ``report`` is the raw schema-versioned document;
+    :meth:`report_object` rehydrates it into a
+    :class:`~repro.sim.faults.RobustnessReport` on demand (the import is
+    deferred so the client stays dependency-light).
+    """
+
+    source: str
+    plan_key: str
+    plan_source: str
+    model: str
+    devices: int
+    batch: int
+    layers: int
+    objective: str
+    blend: float
+    score: float
+    report: Dict[str, Any]
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "RobustnessResponse":
+        return cls(
+            source=payload["source"],
+            plan_key=payload["plan_key"],
+            plan_source=payload["plan_source"],
+            model=payload["model"],
+            devices=payload["devices"],
+            batch=payload["batch"],
+            layers=payload["layers"],
+            objective=payload["objective"],
+            blend=payload["blend"],
+            score=payload["score"],
+            report=dict(payload["report"]),
+        )
+
+    def report_object(self):
+        from ..sim.faults import RobustnessReport
+
+        return RobustnessReport.from_json(self.report)
 
 
 class PlanClient:
@@ -248,9 +261,21 @@ class PlanClient:
         The document's ``components``, folded in ``component_order``,
         sum bit-exactly to its ``total_cost``.
         """
-        body = request.to_json()
-        body["links"] = links
+        body = ExplainRequest(search=request, links=links).to_json()
         return self._json("POST", "/v1/explain", body, trace_id=trace_id)
+
+    def robustness(
+        self,
+        request: RobustnessRequest,
+        trace_id: Optional[str] = None,
+    ) -> RobustnessResponse:
+        """Score the searched plan under a fault model
+        (``POST /v1/robustness``)."""
+        return RobustnessResponse.from_json(
+            self._json(
+                "POST", "/v1/robustness", request.to_json(), trace_id=trace_id
+            )
+        )
 
     def plan(
         self, key: str, debug_trace: bool = False

@@ -12,6 +12,10 @@ single-flight coalescing and admission control behind it.  Endpoints:
 * ``POST /v1/explain``  — search body + ``links`` flag; returns the plan's
   cost decomposition (:mod:`repro.core.explain`) whose component fold
   equals the stored cost bit-exactly.
+* ``POST /v1/robustness`` — search body plus a fault model (``faults``
+  spec string or JSON object), ``scenarios``, ``seed`` and an
+  ``objective``; returns the plan's Monte-Carlo
+  :class:`~repro.sim.faults.RobustnessReport` with tail percentiles.
 * ``GET /v1/plans/<key>`` — a previously computed payload by content hash
   (404 on miss).
 * ``GET /v1/traces/<id>`` — the completed request record for a trace id
@@ -102,6 +106,7 @@ METRIC_HELP = {
     "serve.searches": "Plan searches actually executed.",
     "serve.simulations": "Simulation replays actually executed.",
     "serve.explains": "Cost decompositions actually executed.",
+    "serve.robustness": "Monte-Carlo robustness evaluations executed.",
     "serve.latency_ms":
         "Rolling-window HTTP latency quantiles (ms) by endpoint.",
     "plan_store.lookups": "Plan-store lookups by tier (memory/disk/miss).",
@@ -584,7 +589,7 @@ def _make_handler(server: PlanServer):
                 self._send_json(200, payload)
                 return "/v1/plans", 200
             if method == "POST" and path in (
-                "/v1/search", "/v1/simulate", "/v1/explain"
+                "/v1/search", "/v1/simulate", "/v1/explain", "/v1/robustness"
             ):
                 return path, self._execute(path)
             self._send_json(
@@ -605,6 +610,8 @@ def _make_handler(server: PlanServer):
                     payload = server.service.search_from_request(body)
                 elif path == "/v1/explain":
                     payload = server.service.explain_from_request(body)
+                elif path == "/v1/robustness":
+                    payload = server.service.robustness_from_request(body)
                 else:
                     payload = server.service.simulate_from_request(body)
             except RequestError as exc:

@@ -4,8 +4,10 @@
 layer (:mod:`repro.serve.server`) and in-process tests drive the same
 object.  One search request flows through:
 
-1. **validation** — :class:`SearchParams.from_request` rejects malformed
-   bodies with :class:`RequestError` (HTTP 400);
+1. **validation** — :meth:`repro.api.SearchRequest.from_json` rejects
+   malformed bodies with :class:`repro.api.ValidationError` (HTTP 400;
+   ``RequestError`` is the same class, and ``SearchParams`` survives as a
+   deprecated alias of :class:`~repro.api.SearchRequest`);
 2. **plan store** — the content-hashed key is answered from the in-memory
    LRU or the disk cache without any computation;
 3. **coalescing** — concurrent identical misses collapse onto one search
@@ -25,10 +27,19 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional
 
 from .. import cache as diskcache
+from ..api import (
+    MAX_DEVICES,
+    ExplainRequest,
+    RobustnessRequest,
+    SearchRequest,
+    SimulateRequest,
+    ValidationError,
+    deprecated_alias,
+    plan_from_json,
+)
 from ..cluster.profiler import FabricProfiler
 from ..cluster.topology import v100_cluster
 from ..core.optimizer.deadline import Deadline, SearchDeadlineExceeded
@@ -46,102 +57,39 @@ from .store import PlanStore, default_store
 logger = get_logger("serve.service")
 
 #: Version stamp folded into every plan key; bump when the payload shape
-#: or anything upstream of it changes meaning.
+#: or anything upstream of it changes meaning.  Tracks
+#: :data:`repro.api.SCHEMA_VERSION` (the request schema is the payload
+#: schema's front door).
 SERVE_SCHEMA = 1
 
-#: Largest cluster a request may ask for (guards against absurd bodies).
-MAX_DEVICES = 4096
+#: A malformed request body (HTTP 400).  Kept as a name for back-compat;
+#: this *is* :class:`repro.api.ValidationError`, so handlers written
+#: against either name catch the same exceptions.
+RequestError = ValidationError
 
 
-class RequestError(Exception):
-    """A malformed request body (HTTP 400)."""
+class SearchParams(SearchRequest):
+    """Deprecated alias of :class:`repro.api.SearchRequest`.
 
-
-def _field(body: Mapping[str, Any], name: str, kind, default):
-    value = body.get(name, default)
-    if isinstance(value, bool) and kind is not bool:
-        raise RequestError(f"field {name!r} must be {kind.__name__}")
-    if kind is float and isinstance(value, int):
-        value = float(value)
-    if not isinstance(value, kind):
-        raise RequestError(f"field {name!r} must be {kind.__name__}")
-    return value
-
-
-@dataclass(frozen=True)
-class SearchParams:
-    """One validated, canonicalized search request.
-
-    ``batch == 0`` resolves to the CLI's default workload scaling
-    (``max(8, min(devices, 32))``); ``beam == 0`` means exact search.
+    Kept for one release so existing callers keep working; every use of
+    :meth:`from_request` warns.  New code should call
+    :meth:`repro.api.SearchRequest.from_json`.
     """
-
-    model: str
-    devices: int
-    batch: int
-    alpha: float
-    beam: int
-    include_temporal: bool
 
     @classmethod
     def from_request(cls, body: Mapping[str, Any]) -> "SearchParams":
-        if not isinstance(body, Mapping):
-            raise RequestError("request body must be a JSON object")
-        model = _field(body, "model", str, "opt-6.7b")
-        if model not in MODELS_BY_KEY:
-            raise RequestError(
-                f"unknown model {model!r}; expected one of "
-                f"{sorted(MODELS_BY_KEY)}"
-            )
-        devices = _field(body, "devices", int, 8)
-        if not 2 <= devices <= MAX_DEVICES or devices & (devices - 1):
-            raise RequestError(
-                f"devices must be a power of two in [2, {MAX_DEVICES}], "
-                f"got {devices}"
-            )
-        batch = _field(body, "batch", int, 0)
-        if batch < 0:
-            raise RequestError(f"batch must be >= 0, got {batch}")
-        if batch == 0:
-            batch = max(8, min(devices, 32))
-        alpha = _field(body, "alpha", float, 2e-11)
-        if alpha < 0:
-            raise RequestError(f"alpha must be >= 0, got {alpha}")
-        beam = _field(body, "beam", int, 0)
-        if beam < 0:
-            raise RequestError(f"beam must be >= 0, got {beam}")
-        include_temporal = _field(body, "include_temporal", bool, True)
-        return cls(
-            model=model,
-            devices=devices,
-            batch=batch,
-            alpha=alpha,
-            beam=beam,
-            include_temporal=include_temporal,
+        deprecated_alias(
+            "repro.serve.SearchParams.from_request",
+            "repro.api.SearchRequest.from_json",
         )
-
-    def cache_key(self) -> str:
-        """Content hash identifying this request's plan payload."""
-        return diskcache.content_key(
-            "plan",
-            SERVE_SCHEMA,
-            self.model,
-            self.devices,
-            self.batch,
-            self.alpha,
-            self.beam,
-            self.include_temporal,
-        )
+        return cls.from_json(body)
 
 
-def _deadline_seconds(
-    body: Mapping[str, Any], default: Optional[float]
+def _resolve_deadline(
+    requested: float, default: Optional[float]
 ) -> Optional[float]:
-    """Per-request deadline: the body's ``deadline`` capped by the server
-    default (a request may tighten the budget, never extend it)."""
-    requested = _field(body, "deadline", float, 0.0)
-    if requested < 0:
-        raise RequestError(f"deadline must be >= 0, got {requested}")
+    """Per-request deadline: the request's ``deadline`` capped by the
+    server default (a request may tighten the budget, never extend it)."""
     if requested == 0:
         return default
     if default is not None:
@@ -175,6 +123,7 @@ class PlanService:
         self._searches = SingleFlight()
         self._simulations = SingleFlight()
         self._explains = SingleFlight()
+        self._robustness = SingleFlight()
 
     # ------------------------------------------------------------------
     # search
@@ -182,11 +131,13 @@ class PlanService:
 
     def search_from_request(self, body: Mapping[str, Any]) -> Dict[str, Any]:
         """Validate a raw ``/v1/search`` body and execute it."""
-        params = SearchParams.from_request(body)
-        return self.search(params, _deadline_seconds(body, self.default_deadline))
+        params = SearchRequest.from_json(body)
+        return self.search(
+            params, _resolve_deadline(params.deadline, self.default_deadline)
+        )
 
     def search(
-        self, params: SearchParams, deadline_s: Optional[float] = None
+        self, params: SearchRequest, deadline_s: Optional[float] = None
     ) -> Dict[str, Any]:
         """The plan payload for ``params`` — cached, coalesced or computed.
 
@@ -229,7 +180,7 @@ class PlanService:
         return {**value, "key": key, "source": source}
 
     def _run_search(
-        self, params: SearchParams, deadline: Optional[Deadline]
+        self, params: SearchRequest, deadline: Optional[Deadline]
     ) -> Dict[str, Any]:
         model = MODELS_BY_KEY[params.model]
         profiler = FabricProfiler(v100_cluster(params.devices))
@@ -297,22 +248,17 @@ class PlanService:
 
     def simulate_from_request(self, body: Mapping[str, Any]) -> Dict[str, Any]:
         """Validate a raw ``/v1/simulate`` body and execute it."""
-        params = SearchParams.from_request(body)
-        engine = _field(body, "engine", str, "analytic")
-        if engine not in ("analytic", "event"):
-            raise RequestError(
-                f"engine must be 'analytic' or 'event', got {engine!r}"
-            )
-        layers = _field(body, "layers", int, 0)
-        if layers < 0:
-            raise RequestError(f"layers must be >= 0, got {layers}")
+        request = SimulateRequest.from_json(body)
         return self.simulate(
-            params, engine, layers, _deadline_seconds(body, self.default_deadline)
+            request.search,
+            request.engine,
+            request.layers,
+            _resolve_deadline(request.search.deadline, self.default_deadline),
         )
 
     def simulate(
         self,
-        params: SearchParams,
+        params: SearchRequest,
         engine: str = "analytic",
         layers: int = 0,
         deadline_s: Optional[float] = None,
@@ -357,15 +303,16 @@ class PlanService:
 
     def explain_from_request(self, body: Mapping[str, Any]) -> Dict[str, Any]:
         """Validate a raw ``/v1/explain`` body and execute it."""
-        params = SearchParams.from_request(body)
-        links = _field(body, "links", bool, False)
+        request = ExplainRequest.from_json(body)
         return self.explain(
-            params, links, _deadline_seconds(body, self.default_deadline)
+            request.search,
+            request.links,
+            _resolve_deadline(request.search.deadline, self.default_deadline),
         )
 
     def explain(
         self,
-        params: SearchParams,
+        params: SearchRequest,
         links: bool = False,
         deadline_s: Optional[float] = None,
     ) -> Dict[str, Any]:
@@ -406,9 +353,112 @@ class PlanService:
             "source": "computed" if leader else "coalesced",
         }
 
+    # ------------------------------------------------------------------
+    # robustness
+    # ------------------------------------------------------------------
+
+    def robustness_from_request(self, body: Mapping[str, Any]) -> Dict[str, Any]:
+        """Validate a raw ``/v1/robustness`` body and execute it."""
+        request = RobustnessRequest.from_json(body)
+        return self.robustness(
+            request,
+            _resolve_deadline(request.search.deadline, self.default_deadline),
+        )
+
+    def robustness(
+        self,
+        request: RobustnessRequest,
+        deadline_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Score the plan for ``request.search`` under a fault model.
+
+        The plan is resolved through :meth:`search` first (warming and
+        reusing the plan store); the Monte-Carlo evaluation itself is
+        coalesced per ``(plan key, fault model, scenarios, seed, layers)``
+        and admission-controlled like a search.  The returned ``report``
+        is a schema-versioned
+        :class:`~repro.sim.faults.RobustnessReport` document; same seed +
+        plan + fault spec reproduces it bit-identically regardless of the
+        service's ``jobs`` fan-out.
+        """
+        from ..sim.faults import FaultModel
+
+        if isinstance(request.faults, str):
+            fault_model = FaultModel.from_spec(request.faults)
+        else:
+            fault_model = FaultModel.from_json(request.faults)
+        plan_payload = self.search(request.search, deadline_s)
+        model = MODELS_BY_KEY[request.search.model]
+        n_layers = request.layers or model.n_layers
+        rob_key = diskcache.content_key(
+            "robustness",
+            SERVE_SCHEMA,
+            plan_payload["key"],
+            fault_model.canonical(),
+            request.scenarios,
+            request.seed,
+            n_layers,
+        )
+        deadline = Deadline(deadline_s) if deadline_s else None
+
+        def compute() -> Dict[str, Any]:
+            timeout = deadline.remaining() if deadline else None
+            with self.admission.admit(timeout=timeout):
+                counter("serve.robustness").inc()
+                return self._run_robustness(
+                    request, plan_payload, fault_model, n_layers
+                )
+
+        value, leader = self._robustness.run(
+            rob_key, compute, timeout=deadline.remaining() if deadline else None
+        )
+        return {
+            **value,
+            "plan_key": plan_payload["key"],
+            "plan_source": plan_payload["source"],
+            "source": "computed" if leader else "coalesced",
+        }
+
+    def _run_robustness(
+        self,
+        request: RobustnessRequest,
+        plan_payload: Mapping[str, Any],
+        fault_model,
+        n_layers: int,
+    ) -> Dict[str, Any]:
+        from ..sim.faults import evaluate_robustness
+
+        search = request.search
+        topology = v100_cluster(search.devices)
+        profiler = FabricProfiler(topology)
+        model = MODELS_BY_KEY[search.model]
+        graph = build_block_graph(model.block_shape(batch=search.batch))
+        plan = plan_from_json(plan_payload["plan"], topology.n_bits)
+        report = evaluate_robustness(
+            profiler,
+            graph,
+            plan,
+            search.batch,
+            n_layers,
+            fault_model,
+            scenarios=request.scenarios,
+            seed=request.seed,
+            jobs=self.jobs,
+        )
+        return {
+            "model": search.model,
+            "devices": search.devices,
+            "batch": search.batch,
+            "layers": n_layers,
+            "objective": request.objective,
+            "blend": request.blend,
+            "score": report.score(request.objective, request.blend),
+            "report": report.to_json(),
+        }
+
     def _run_explain(
         self,
-        params: SearchParams,
+        params: SearchRequest,
         plan_payload: Mapping[str, Any],
         links: bool,
     ) -> Dict[str, Any]:
@@ -418,10 +468,7 @@ class PlanService:
         profiler = FabricProfiler(topology)
         model = MODELS_BY_KEY[params.model]
         graph = build_block_graph(model.block_shape(batch=params.batch))
-        plan = {
-            name: _spec_from_string(text, topology.n_bits)
-            for name, text in plan_payload["plan"].items()
-        }
+        plan = plan_from_json(plan_payload["plan"], topology.n_bits)
         return explain_plan(
             profiler,
             graph,

@@ -7,6 +7,11 @@ Two engines produce :class:`~repro.sim.executor.IterationReport`:
 * :class:`~repro.sim.engine.EventDrivenSimulator` — a discrete-event replay
   with per-device streams and fabric-link contention, exportable as a
   Chrome trace via :mod:`repro.sim.trace`.
+
+:mod:`repro.sim.faults` layers seeded fault injection on the event engine
+(:class:`FaultyKernelGraph`) and Monte-Carlo robustness scoring on top
+(:func:`evaluate_robustness` → :class:`RobustnessReport`,
+:func:`robust_search` for tail-latency-optimal planning).
 """
 
 from .engine import (
@@ -17,16 +22,44 @@ from .engine import (
     StreamResource,
 )
 from .executor import IterationReport, TrainingSimulator
+from .faults import (
+    DegradedLink,
+    FaultModel,
+    FaultScenario,
+    FaultyKernelGraph,
+    NicFlap,
+    NodeOutage,
+    RecoveryModel,
+    RobustnessReport,
+    ScenarioOutcome,
+    Straggler,
+    evaluate_robustness,
+    pipeline_robustness,
+    robust_search,
+)
 from .timeline import KernelRecord, Timeline
 
 __all__ = [
+    "DegradedLink",
     "EventDrivenSimulator",
+    "FaultModel",
+    "FaultScenario",
+    "FaultyKernelGraph",
     "IterationReport",
     "KernelGraph",
     "KernelRecord",
+    "NicFlap",
+    "NodeOutage",
+    "RecoveryModel",
+    "RobustnessReport",
+    "ScenarioOutcome",
     "SimKernel",
     "SimulationEngine",
     "StreamResource",
+    "Straggler",
     "Timeline",
     "TrainingSimulator",
+    "evaluate_robustness",
+    "pipeline_robustness",
+    "robust_search",
 ]

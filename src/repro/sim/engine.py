@@ -604,6 +604,7 @@ class EventDrivenSimulator:
         plan: Mapping[str, PartitionSpec],
         global_batch: int,
         n_layers: int,
+        force_replay: bool = False,
     ) -> IterationReport:
         """Scale a one-layer event-driven simulation to ``n_layers`` layers.
 
@@ -611,11 +612,17 @@ class EventDrivenSimulator:
         when its boundary is verified synchronising — every device stream
         ends exactly at the makespan, so neither slack nor link contention
         can couple adjacent layers.  Otherwise the full layer stack is
-        replayed through the event engine.
+        replayed through the event engine.  ``force_replay`` skips the
+        splice check and replays the full stack unconditionally — the
+        fault layer needs this whenever time-varying faults (NIC flaps)
+        make the one-layer schedule non-representative.
         """
         with span(
             "sim.run", engine="event", devices=self.topology.n_devices
         ):
+            if force_replay and n_layers > 1:
+                counter("sim.splice", outcome="forced_replay").inc()
+                return self._full_replay(graph, plan, global_batch, n_layers)
             single, spliceable = self._single_layer(graph, plan, global_batch)
             if n_layers <= 1:
                 return single

@@ -1,0 +1,1217 @@
+"""Seeded, deterministic fault injection over the event engine.
+
+The planner's nominal makespan assumes a perfect fleet.  Real training runs
+see stragglers, flaky NICs, degraded links and node loss — and the partition
+choice that wins on a perfect fabric is not always the one that degrades most
+gracefully.  This module makes that question answerable:
+
+* **Fault primitives** — :class:`Straggler` (per-device compute slowdown),
+  :class:`DegradedLink` (a node NIC pool at a fraction of its bandwidth),
+  :class:`NicFlap` (a transient outage window with reroute/stall semantics),
+  :class:`NodeOutage` (node loss mid-iteration, recovered via
+  checkpoint/restart and optional re-planning, see :class:`RecoveryModel`).
+* **Monte-Carlo sampling** — :class:`FaultModel` turns fleet-level rates
+  into N :class:`FaultScenario` draws.  Scenario ``i`` under seed ``s`` is a
+  pure function of ``(s, i)`` (its own :class:`random.Random` stream), so
+  outcomes are bit-identical serial or fanned out through
+  :func:`~repro.core.optimizer.parallel.parallel_map`, and independent of
+  evaluation order.
+* **Injection** — :class:`FaultyKernelGraph` subclasses the event engine's
+  :class:`~repro.sim.engine.KernelGraph`: stragglers stretch compute-kind
+  kernel durations, degraded links scale shared NIC capacities, and flaps
+  modulate effective link capacity over time (``reroute_factor == 0`` stalls
+  in-flight transfers until the link returns).  With an empty scenario every
+  override is a pass-through — the zero-fault path stays bit-identical to
+  the stock engine, and the golden suite holds it there.
+* **Scoring** — :func:`evaluate_robustness` replays a plan across the
+  sampled scenarios and folds the outcomes into a :class:`RobustnessReport`:
+  p50/p95/p99 iteration latency (nearest-rank, via
+  :mod:`repro.obs.quantiles`), slowdown attribution (compute vs. link vs.
+  recovery), and expected recovery cost.
+* **Tail-latency planning** — :func:`robust_search` scores a small plan
+  portfolio (PrimePar with and without the temporal primitive, plus the
+  Megatron baseline) under one fault model and ranks it by a tail
+  objective; :func:`pipeline_robustness` is the closed-form counterpart for
+  :class:`~repro.parallel3d.planner.Planner3D` results.
+
+Attribution is exact by construction: each scenario is simulated twice —
+compute faults only, then all engine faults — so ``latency ==
+nominal + compute_delay + link_delay + recovery_delay`` holds bit-exactly
+per outcome.  Fault simulations bypass the disk report cache (their results
+are functions of the scenario, not just the plan) and force a full layer
+replay whenever a flap makes the schedule time-varying.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..api import OBJECTIVES, SCHEMA_VERSION, ValidationError, check_schema, stamp
+from ..cluster.profiler import FabricProfiler
+from ..cluster.topology import ClusterTopology
+from ..core.optimizer.parallel import parallel_map
+from ..core.spec import PartitionSpec
+from ..graph.graph import ComputationGraph
+from ..obs.metrics import counter
+from ..obs.quantiles import nearest_rank
+from ..obs.spans import span
+from .engine import EventDrivenSimulator, KernelGraph, _SharedLink
+
+__all__ = [
+    "DegradedLink",
+    "FaultModel",
+    "FaultScenario",
+    "FaultyKernelGraph",
+    "NicFlap",
+    "NodeOutage",
+    "RecoveryModel",
+    "RobustCandidate",
+    "RobustSearchResult",
+    "RobustnessReport",
+    "ScenarioOutcome",
+    "Straggler",
+    "evaluate_robustness",
+    "pipeline_robustness",
+    "robust_search",
+    "scenario_seed",
+    "simulate_scenario",
+]
+
+#: Kernel kinds whose durations a straggler device stretches (per-device
+#: compute: SPMD step kernels plus pipeline-stage forward/backward).
+COMPUTE_KINDS = frozenset({"compute", "forward", "backward"})
+
+#: Bandwidth-bound kernel kinds a degraded link stretches on its node's
+#: devices.  Collectives are priced in closed form on device streams (not
+#: as fabric flows), so a degraded NIC must surface there too: its node's
+#: per-rank collective kernels run at ``1 / factor`` — and the next
+#: barrier waits for the slowest rank, which is exactly how a slow NIC
+#: gates a ring collective.  Point-to-point flows (ring transfers,
+#: pipeline sends) are additionally slowed through the shared-link
+#: capacity itself.
+LINK_KINDS = frozenset({"redistribute", "allreduce"})
+
+
+def scenario_seed(seed: int, index: int) -> int:
+    """The derived RNG seed for scenario ``index`` under run seed ``seed``.
+
+    A pure function of ``(seed, index)`` so each scenario owns an
+    independent, order-free random stream (Mersenne Twister output is
+    stable across Python versions).
+    """
+    return (seed * 1_000_003 + index * 7_919) & 0x7FFFFFFFFFFFFFFF
+
+
+# ----------------------------------------------------------------------
+# fault primitives
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """One device running compute-kind kernels ``slowdown`` times slower."""
+
+    device: int
+    slowdown: float
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"device": self.device, "slowdown": self.slowdown}
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "Straggler":
+        return cls(int(payload["device"]), float(payload["slowdown"]))
+
+
+@dataclass(frozen=True)
+class DegradedLink:
+    """One node's NIC pool running at ``factor`` of its nominal bandwidth."""
+
+    node: int
+    factor: float
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"node": self.node, "factor": self.factor}
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "DegradedLink":
+        return cls(int(payload["node"]), float(payload["factor"]))
+
+
+@dataclass(frozen=True)
+class NicFlap:
+    """A transient NIC outage on ``node`` during ``[start, start+duration)``.
+
+    While the flap is active the node's NIC pool runs at ``reroute_factor``
+    of its capacity — ``0.0`` models a hard outage (in-flight transfers
+    stall until the link returns), a positive fraction models traffic
+    rerouted over a slower path.
+    """
+
+    node: int
+    start: float
+    duration: float
+    reroute_factor: float = 0.0
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "node": self.node,
+            "start": self.start,
+            "duration": self.duration,
+            "reroute_factor": self.reroute_factor,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "NicFlap":
+        return cls(
+            int(payload["node"]),
+            float(payload["start"]),
+            float(payload["duration"]),
+            float(payload.get("reroute_factor", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class NodeOutage:
+    """Node loss partway through the faulted iteration.
+
+    ``at_fraction`` is where in the iteration the node dies (the work up to
+    that point is lost and redone); ``lost_iterations`` is how far the run
+    sits past its last checkpoint (each lost iteration is redone at nominal
+    speed after restart).
+    """
+
+    node: int
+    at_fraction: float
+    lost_iterations: int
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "node": self.node,
+            "at_fraction": self.at_fraction,
+            "lost_iterations": self.lost_iterations,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "NodeOutage":
+        return cls(
+            int(payload["node"]),
+            float(payload["at_fraction"]),
+            int(payload["lost_iterations"]),
+        )
+
+
+@dataclass(frozen=True)
+class RecoveryModel:
+    """Checkpoint/restart economics applied to a :class:`NodeOutage`.
+
+    Recovery cost = the faulted iteration's work lost at the outage point,
+    plus ``lost_iterations`` re-run at nominal speed (uniform over
+    ``checkpoint_interval``), plus ``restart_seconds`` of restart, plus
+    ``replan_seconds`` of re-planning on the changed topology
+    (``0`` disables the re-plan term).
+    """
+
+    checkpoint_interval: int = 16
+    restart_seconds: float = 30.0
+    replan_seconds: float = 5.0
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "checkpoint_interval": self.checkpoint_interval,
+            "restart_seconds": self.restart_seconds,
+            "replan_seconds": self.replan_seconds,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "RecoveryModel":
+        return cls(
+            int(payload.get("checkpoint_interval", 16)),
+            float(payload.get("restart_seconds", 30.0)),
+            float(payload.get("replan_seconds", 5.0)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """One concrete draw from a :class:`FaultModel` (see :meth:`FaultModel.sample`)."""
+
+    index: int
+    seed: int
+    stragglers: Tuple[Straggler, ...] = ()
+    degraded_links: Tuple[DegradedLink, ...] = ()
+    nic_flaps: Tuple[NicFlap, ...] = ()
+    outage: Optional[NodeOutage] = None
+
+    @property
+    def has_compute_faults(self) -> bool:
+        return bool(self.stragglers)
+
+    @property
+    def has_link_faults(self) -> bool:
+        return bool(self.degraded_links or self.nic_flaps)
+
+    @property
+    def is_nominal(self) -> bool:
+        return not (
+            self.stragglers or self.degraded_links or self.nic_flaps
+            or self.outage
+        )
+
+    def engine_only(self) -> "FaultScenario":
+        """This scenario without the outage (the engine-visible faults)."""
+        return replace(self, outage=None)
+
+    def compute_only(self) -> "FaultScenario":
+        """This scenario with only its compute faults (for attribution)."""
+        return replace(self, degraded_links=(), nic_flaps=(), outage=None)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "seed": self.seed,
+            "stragglers": [s.to_json() for s in self.stragglers],
+            "degraded_links": [d.to_json() for d in self.degraded_links],
+            "nic_flaps": [f.to_json() for f in self.nic_flaps],
+            "outage": self.outage.to_json() if self.outage else None,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "FaultScenario":
+        outage = payload.get("outage")
+        return cls(
+            index=int(payload["index"]),
+            seed=int(payload["seed"]),
+            stragglers=tuple(
+                Straggler.from_json(s) for s in payload.get("stragglers", ())
+            ),
+            degraded_links=tuple(
+                DegradedLink.from_json(d)
+                for d in payload.get("degraded_links", ())
+            ),
+            nic_flaps=tuple(
+                NicFlap.from_json(f) for f in payload.get("nic_flaps", ())
+            ),
+            outage=NodeOutage.from_json(outage) if outage else None,
+        )
+
+
+# ----------------------------------------------------------------------
+# the fault model (fleet-level rates -> seeded scenarios)
+# ----------------------------------------------------------------------
+
+_MODEL_FIELDS = (
+    "straggler_rate", "straggler_slowdown", "degrade_rate", "degrade_factor",
+    "flap_rate", "flap_duration", "flap_reroute", "outage_rate",
+)
+_RECOVERY_FIELDS = ("checkpoint_interval", "restart_seconds", "replan_seconds")
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Fleet-level fault rates, sampled into deterministic scenarios.
+
+    Rates are per faulted iteration: ``straggler_rate`` per device,
+    ``degrade_rate`` and ``outage_rate`` per node, ``flap_rate`` expected
+    flaps per node.  Severities (``straggler_slowdown``,
+    ``degrade_factor``, ``flap_duration``) are means; each draw jitters
+    them uniformly in ``[0.5, 1.5]`` of the excess so scenarios are not
+    all identical.
+
+    The draw order inside :meth:`sample` is part of the schema — reordering
+    it changes every seeded scenario, which the determinism suite treats as
+    a break.
+    """
+
+    straggler_rate: float = 0.0
+    straggler_slowdown: float = 1.5
+    degrade_rate: float = 0.0
+    degrade_factor: float = 0.5
+    flap_rate: float = 0.0
+    flap_duration: float = 0.002
+    flap_reroute: float = 0.0
+    outage_rate: float = 0.0
+    recovery: RecoveryModel = field(default_factory=RecoveryModel)
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "FaultModel":
+        """Build from a JSON object, rejecting unknown or ill-typed fields."""
+        if not isinstance(payload, Mapping):
+            raise ValidationError(
+                "fault model must be a JSON object", "faults"
+            )
+        known = set(_MODEL_FIELDS) | set(_RECOVERY_FIELDS) | {"recovery"}
+        for key in payload:
+            if key not in known:
+                raise ValidationError(
+                    f"unknown fault-model field {key!r}; expected one of "
+                    f"{sorted(known)}",
+                    f"faults.{key}",
+                )
+        values: Dict[str, float] = {}
+        for name in _MODEL_FIELDS:
+            raw = payload.get(name, getattr(cls, name))
+            if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+                raise ValidationError(
+                    f"fault-model field {name!r} must be a number",
+                    f"faults.{name}",
+                )
+            values[name] = float(raw)
+        recovery_payload = dict(payload.get("recovery", {}))
+        for name in _RECOVERY_FIELDS:
+            if name in payload:
+                recovery_payload[name] = payload[name]
+        try:
+            recovery = RecoveryModel.from_json(recovery_payload)
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(
+                f"invalid recovery model: {exc}", "faults.recovery"
+            ) from exc
+        model = cls(recovery=recovery, **values)
+        model.validate()
+        return model
+
+    @classmethod
+    def from_spec(cls, text: str) -> "FaultModel":
+        """Parse the compact CLI spec.
+
+        ``"straggler=0.2:1.8,degrade=0.3:0.5,flap=0.5:0.002:0.25,
+        outage=0.05,ckpt=16,restart=30,replan=5"`` — each clause is
+        ``name=rate[:severity[:extra]]``; ``@path.json`` loads a JSON fault
+        model from a file instead.  An empty string is the zero-fault model.
+        """
+        text = text.strip()
+        if text.startswith("@"):
+            try:
+                with open(text[1:], "r", encoding="utf-8") as handle:
+                    return cls.from_json(json.load(handle))
+            except OSError as exc:
+                raise ValidationError(
+                    f"cannot read fault spec file {text[1:]!r}: {exc}",
+                    "faults",
+                ) from exc
+            except json.JSONDecodeError as exc:
+                raise ValidationError(
+                    f"fault spec file {text[1:]!r} is not valid JSON: {exc}",
+                    "faults",
+                ) from exc
+        payload: Dict[str, Any] = {}
+        clause_map = {
+            "straggler": ("straggler_rate", "straggler_slowdown"),
+            "degrade": ("degrade_rate", "degrade_factor"),
+            "flap": ("flap_rate", "flap_duration", "flap_reroute"),
+            "outage": ("outage_rate",),
+            "ckpt": ("checkpoint_interval",),
+            "restart": ("restart_seconds",),
+            "replan": ("replan_seconds",),
+        }
+        for clause in filter(None, (c.strip() for c in text.split(","))):
+            name, sep, rest = clause.partition("=")
+            if not sep or name not in clause_map:
+                raise ValidationError(
+                    f"bad fault spec clause {clause!r}; expected one of "
+                    f"{sorted(clause_map)} as name=value[:value...]",
+                    "faults",
+                )
+            fields_for = clause_map[name]
+            parts = rest.split(":")
+            if len(parts) > len(fields_for):
+                raise ValidationError(
+                    f"too many values in fault spec clause {clause!r}",
+                    "faults",
+                )
+            for field_name, part in zip(fields_for, parts):
+                try:
+                    value: Any = (
+                        int(part) if field_name == "checkpoint_interval"
+                        else float(part)
+                    )
+                except ValueError as exc:
+                    raise ValidationError(
+                        f"bad number {part!r} in fault spec clause {clause!r}",
+                        f"faults.{field_name}",
+                    ) from exc
+                payload[field_name] = value
+        return cls.from_json(payload)
+
+    def validate(self) -> None:
+        for name in ("straggler_rate", "degrade_rate", "outage_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValidationError(
+                    f"{name} must be in [0, 1], got {rate}", f"faults.{name}"
+                )
+        if self.flap_rate < 0:
+            raise ValidationError(
+                f"flap_rate must be >= 0, got {self.flap_rate}",
+                "faults.flap_rate",
+            )
+        if self.straggler_slowdown < 1.0:
+            raise ValidationError(
+                f"straggler_slowdown must be >= 1, got "
+                f"{self.straggler_slowdown}",
+                "faults.straggler_slowdown",
+            )
+        if not 0.0 < self.degrade_factor <= 1.0:
+            raise ValidationError(
+                f"degrade_factor must be in (0, 1], got {self.degrade_factor}",
+                "faults.degrade_factor",
+            )
+        if self.flap_duration < 0:
+            raise ValidationError(
+                f"flap_duration must be >= 0, got {self.flap_duration}",
+                "faults.flap_duration",
+            )
+        if not 0.0 <= self.flap_reroute <= 1.0:
+            raise ValidationError(
+                f"flap_reroute must be in [0, 1], got {self.flap_reroute}",
+                "faults.flap_reroute",
+            )
+        if self.recovery.checkpoint_interval < 1:
+            raise ValidationError(
+                "checkpoint_interval must be >= 1, got "
+                f"{self.recovery.checkpoint_interval}",
+                "faults.checkpoint_interval",
+            )
+        for name in ("restart_seconds", "replan_seconds"):
+            value = getattr(self.recovery, name)
+            if value < 0:
+                raise ValidationError(
+                    f"{name} must be >= 0, got {value}", f"faults.{name}"
+                )
+
+    def to_json(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            name: getattr(self, name) for name in _MODEL_FIELDS
+        }
+        payload["recovery"] = self.recovery.to_json()
+        return payload
+
+    def canonical(self) -> str:
+        """A stable string form for cache keys and determinism checks."""
+        return json.dumps(self.to_json(), sort_keys=True)
+
+    @property
+    def is_zero(self) -> bool:
+        return all(
+            getattr(self, name) == 0.0
+            for name in ("straggler_rate", "degrade_rate", "flap_rate",
+                         "outage_rate")
+        )
+
+    # -- sampling -------------------------------------------------------
+
+    def sample(
+        self,
+        topology: ClusterTopology,
+        index: int,
+        seed: int,
+        horizon: float,
+    ) -> FaultScenario:
+        """Draw scenario ``index`` for ``topology`` under run seed ``seed``.
+
+        ``horizon`` (the nominal iteration latency) bounds flap start
+        times.  The draw order — stragglers per device, degraded links per
+        node, flaps per node, then the outage — is frozen; see the class
+        docstring.
+        """
+        rng = random.Random(scenario_seed(seed, index))
+        stragglers: List[Straggler] = []
+        for device in range(topology.n_devices):
+            if rng.random() < self.straggler_rate:
+                excess = (self.straggler_slowdown - 1.0) * (0.5 + rng.random())
+                stragglers.append(Straggler(device, 1.0 + excess))
+        degraded: List[DegradedLink] = []
+        for node in range(topology.n_nodes):
+            if rng.random() < self.degrade_rate:
+                severity = 0.5 + rng.random()
+                factor = 1.0 - (1.0 - self.degrade_factor) * severity
+                degraded.append(DegradedLink(node, max(factor, 0.05)))
+        flaps: List[NicFlap] = []
+        for node in range(topology.n_nodes):
+            count = int(self.flap_rate)
+            if rng.random() < self.flap_rate - count:
+                count += 1
+            for _ in range(count):
+                start = rng.random() * max(horizon, 0.0)
+                duration = self.flap_duration * (0.5 + rng.random())
+                flaps.append(
+                    NicFlap(node, start, duration, self.flap_reroute)
+                )
+        outage: Optional[NodeOutage] = None
+        if rng.random() < self.outage_rate:
+            node = rng.randrange(topology.n_nodes)
+            at_fraction = rng.random()
+            lost = rng.randrange(self.recovery.checkpoint_interval)
+            outage = NodeOutage(node, at_fraction, lost)
+        return FaultScenario(
+            index=index,
+            seed=seed,
+            stragglers=tuple(stragglers),
+            degraded_links=tuple(degraded),
+            nic_flaps=tuple(flaps),
+            outage=outage,
+        )
+
+    def scenarios(
+        self,
+        topology: ClusterTopology,
+        n: int,
+        seed: int,
+        horizon: float,
+    ) -> Tuple[FaultScenario, ...]:
+        """``n`` seeded scenario draws (each independent of the others)."""
+        return tuple(
+            self.sample(topology, index, seed, horizon) for index in range(n)
+        )
+
+
+# ----------------------------------------------------------------------
+# injection: a KernelGraph with faults applied
+# ----------------------------------------------------------------------
+
+
+class FaultyKernelGraph(KernelGraph):
+    """A :class:`KernelGraph` executing under one :class:`FaultScenario`.
+
+    * Stragglers stretch compute-kind kernel durations on their device.
+    * Degraded links scale the capacity of the node's shared NIC pool and
+      stretch bandwidth-bound collective kernels on the node's devices by
+      ``1 / factor`` (see ``LINK_KINDS``).
+    * NIC flaps schedule capacity-change events: while active, the pool
+      runs at ``reroute_factor`` of (possibly already degraded) capacity;
+      at factor ``0`` in-flight flows stall (completion parked at ``inf``)
+      until the restore event re-times them.
+
+    With an empty scenario every path below is a bit-exact pass-through of
+    the base class — asserted against the frozen legacy engine by the
+    golden suite.
+    """
+
+    def __init__(
+        self, scenario: FaultScenario, topology: ClusterTopology
+    ) -> None:
+        super().__init__()
+        self.scenario = scenario
+        self._slowdown = {s.device: s.slowdown for s in scenario.stragglers}
+        self._degraded = {
+            f"nic:node{d.node}": d.factor for d in scenario.degraded_links
+        }
+        #: Degraded-node collective stretch per device (multi-node only:
+        #: single-node clusters have no NIC in any collective's path).
+        self._link_stretch: Dict[int, float] = {}
+        if topology.n_nodes > 1:
+            by_node = {d.node: d.factor for d in scenario.degraded_links}
+            for device in range(topology.n_devices):
+                factor = by_node.get(topology.node_of(device))
+                if factor is not None:
+                    self._link_stretch[device] = 1.0 / factor
+        #: Active flap factors per link key (a list: flaps may overlap).
+        self._flap_active: Dict[str, List[float]] = {}
+        self._flaps = [
+            (f"nic:node{f.node}", f) for f in scenario.nic_flaps
+        ]
+
+    # -- construction overrides ----------------------------------------
+
+    def add(self, name, **kwargs):
+        kind = kwargs.get("kind", "")
+        duration = kwargs.get("duration", 0.0)
+        if duration > 0:
+            device = kwargs.get("device", 0)
+            if kind in COMPUTE_KINDS:
+                slow = self._slowdown.get(device)
+                if slow is not None:
+                    kwargs = {**kwargs, "duration": duration * slow}
+            elif kind in LINK_KINDS:
+                stretch = self._link_stretch.get(device)
+                if stretch is not None:
+                    kwargs = {**kwargs, "duration": duration * stretch}
+        return super().add(name, **kwargs)
+
+    def _link(self, key: str, capacity: float) -> _SharedLink:
+        factor = self._degraded.get(key)
+        if factor is not None and key not in self._links:
+            capacity = capacity * factor
+        return super()._link(key, capacity)
+
+    # -- execution overrides -------------------------------------------
+
+    def execute(self) -> float:
+        for key, flap in self._flaps:
+            self.engine.schedule(
+                flap.start, lambda k=key, f=flap: self._flap_edge(k, f, True)
+            )
+            self.engine.schedule(
+                flap.start + flap.duration,
+                lambda k=key, f=flap: self._flap_edge(k, f, False),
+            )
+        return super().execute()
+
+    def _flap_edge(self, key: str, flap: NicFlap, starting: bool) -> None:
+        active = self._flap_active.setdefault(key, [])
+        if starting:
+            active.append(flap.reroute_factor)
+        else:
+            active.remove(flap.reroute_factor)
+        link = self._links.get(key)
+        if link is not None:
+            self._dirty_links[key] = link
+            self._dirty = True
+
+    def _capacity(self, resource: _SharedLink) -> float:
+        active = self._flap_active.get(resource.key)
+        if not active:
+            return resource.capacity
+        return resource.capacity * min(active)
+
+    def _flush_contention(self) -> bool:
+        """The base flush, with flap-aware capacity and stall handling.
+
+        Identical to :meth:`KernelGraph._flush_contention` except that the
+        fair-share solve reads :meth:`_capacity` (so active flaps modulate
+        the pool) and a zero rate parks the completion at ``inf`` — always
+        superseded, because the flap's restore event is already scheduled
+        and re-times every affected flow.
+        """
+        if not self._dirty:
+            return False
+        self._dirty = False
+        now = self.engine.now
+        affected = self._pending_rates
+        for link in self._dirty_links.values():
+            for fid in link.flows:
+                affected[fid] = None
+        self._dirty_links = {}
+        self._pending_rates = {}
+        engine = self.engine
+        for fid, flow in self._active.items():
+            flow.remaining = max(
+                flow.remaining - flow.rate * (now - flow.last_update), 0.0
+            )
+            flow.last_update = now
+            if fid in affected:
+                rate = flow.peak_rate
+                for resource in flow.resources:
+                    rate = min(
+                        rate, self._capacity(resource) / len(resource.flows)
+                    )
+                flow.rate = rate
+                self.rate_recomputes += 1
+            else:
+                self.rate_reuses += 1
+            if flow.rate <= 0.0:
+                when = math.inf
+            else:
+                when = now + flow.remaining / flow.rate
+            if flow.slot is None:
+                flow.slot = engine.schedule(
+                    when, lambda f=flow: self._flow_fired(f)
+                )
+            else:
+                engine.reschedule(flow.slot, when)
+        self.flushes += 1
+        return True
+
+
+# ----------------------------------------------------------------------
+# scenario evaluation
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """One scenario's simulated iteration, decomposed by fault class.
+
+    ``latency == nominal_latency + compute_delay + link_delay +
+    recovery_delay`` holds bit-exactly by construction.
+    """
+
+    index: int
+    latency: float
+    nominal_latency: float
+    compute_delay: float
+    link_delay: float
+    recovery_delay: float
+    stragglers: int = 0
+    degraded_links: int = 0
+    nic_flaps: int = 0
+    outage: bool = False
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "latency": self.latency,
+            "nominal_latency": self.nominal_latency,
+            "compute_delay": self.compute_delay,
+            "link_delay": self.link_delay,
+            "recovery_delay": self.recovery_delay,
+            "stragglers": self.stragglers,
+            "degraded_links": self.degraded_links,
+            "nic_flaps": self.nic_flaps,
+            "outage": self.outage,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "ScenarioOutcome":
+        return cls(
+            index=int(payload["index"]),
+            latency=float(payload["latency"]),
+            nominal_latency=float(payload["nominal_latency"]),
+            compute_delay=float(payload["compute_delay"]),
+            link_delay=float(payload["link_delay"]),
+            recovery_delay=float(payload["recovery_delay"]),
+            stragglers=int(payload.get("stragglers", 0)),
+            degraded_links=int(payload.get("degraded_links", 0)),
+            nic_flaps=int(payload.get("nic_flaps", 0)),
+            outage=bool(payload.get("outage", False)),
+        )
+
+
+@dataclass(frozen=True)
+class RobustnessReport:
+    """A plan's behaviour under one fault model: tail latency + attribution.
+
+    Percentiles are nearest-rank over the scenario latencies
+    (:func:`repro.obs.quantiles.nearest_rank`); ``attribution`` holds the
+    mean seconds each fault class added per scenario;
+    ``expected_recovery_cost`` equals ``attribution["recovery"]``.
+    """
+
+    n_scenarios: int
+    seed: int
+    nominal_latency: float
+    p50: float
+    p95: float
+    p99: float
+    mean_latency: float
+    worst_latency: float
+    attribution: Dict[str, float]
+    expected_recovery_cost: float
+    outage_scenarios: int
+    fault_model: FaultModel
+    outcomes: Tuple[ScenarioOutcome, ...] = ()
+
+    def score(self, objective: str = "nominal", blend: float = 0.5) -> float:
+        """The plan's scalar score under a tail objective.
+
+        ``blend`` interpolates nominal and p99:
+        ``(1 - blend) * nominal + blend * p99``.
+        """
+        if objective not in OBJECTIVES:
+            raise ValidationError(
+                f"objective must be one of {OBJECTIVES}, got {objective!r}",
+                "objective",
+            )
+        if objective == "nominal":
+            return self.nominal_latency
+        if objective == "blend":
+            return (1.0 - blend) * self.nominal_latency + blend * self.p99
+        return {"p50": self.p50, "p95": self.p95, "p99": self.p99}[objective]
+
+    def to_json(self) -> Dict[str, Any]:
+        return stamp(
+            "robustness_report",
+            {
+                "n_scenarios": self.n_scenarios,
+                "seed": self.seed,
+                "nominal_latency": self.nominal_latency,
+                "p50": self.p50,
+                "p95": self.p95,
+                "p99": self.p99,
+                "mean_latency": self.mean_latency,
+                "worst_latency": self.worst_latency,
+                "attribution": dict(sorted(self.attribution.items())),
+                "expected_recovery_cost": self.expected_recovery_cost,
+                "outage_scenarios": self.outage_scenarios,
+                "fault_model": self.fault_model.to_json(),
+                "outcomes": [o.to_json() for o in self.outcomes],
+            },
+        )
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "RobustnessReport":
+        payload = check_schema(payload, "robustness_report")
+        return cls(
+            n_scenarios=int(payload["n_scenarios"]),
+            seed=int(payload["seed"]),
+            nominal_latency=float(payload["nominal_latency"]),
+            p50=float(payload["p50"]),
+            p95=float(payload["p95"]),
+            p99=float(payload["p99"]),
+            mean_latency=float(payload["mean_latency"]),
+            worst_latency=float(payload["worst_latency"]),
+            attribution=dict(payload["attribution"]),
+            expected_recovery_cost=float(payload["expected_recovery_cost"]),
+            outage_scenarios=int(payload["outage_scenarios"]),
+            fault_model=FaultModel.from_json(payload["fault_model"]),
+            outcomes=tuple(
+                ScenarioOutcome.from_json(o)
+                for o in payload.get("outcomes", ())
+            ),
+        )
+
+
+def _faulted_latency(
+    profiler: FabricProfiler,
+    graph: ComputationGraph,
+    plan: Mapping[str, PartitionSpec],
+    global_batch: int,
+    n_layers: int,
+    scenario: FaultScenario,
+) -> float:
+    """One event-driven replay of ``plan`` under ``scenario``'s engine faults."""
+    topology = profiler.topology
+    simulator = EventDrivenSimulator(
+        profiler,
+        graph_factory=lambda: FaultyKernelGraph(scenario, topology),
+        use_disk_cache=False,
+    )
+    report = simulator.run_model(
+        graph, plan, global_batch, n_layers,
+        force_replay=bool(scenario.nic_flaps),
+    )
+    return report.latency
+
+
+def simulate_scenario(
+    profiler: FabricProfiler,
+    graph: ComputationGraph,
+    plan: Mapping[str, PartitionSpec],
+    global_batch: int,
+    n_layers: int,
+    scenario: FaultScenario,
+    recovery: RecoveryModel,
+    nominal_latency: float,
+) -> ScenarioOutcome:
+    """Simulate one scenario and decompose its slowdown by fault class.
+
+    The scenario is replayed twice when it mixes fault classes — compute
+    faults only, then all engine faults — so the compute/link split is
+    exact; pure-compute or pure-link scenarios need one replay, and
+    nominal scenarios none.
+    """
+    if scenario.has_compute_faults:
+        compute_latency = _faulted_latency(
+            profiler, graph, plan, global_batch, n_layers,
+            scenario.compute_only(),
+        )
+    else:
+        compute_latency = nominal_latency
+    if scenario.has_link_faults:
+        engine_latency = _faulted_latency(
+            profiler, graph, plan, global_batch, n_layers,
+            scenario.engine_only(),
+        )
+    else:
+        engine_latency = compute_latency
+    recovery_delay = 0.0
+    if scenario.outage is not None:
+        lost_work = scenario.outage.at_fraction * engine_latency
+        redo = scenario.outage.lost_iterations * nominal_latency
+        recovery_delay = (
+            lost_work + redo + recovery.restart_seconds
+            + recovery.replan_seconds
+        )
+    return ScenarioOutcome(
+        index=scenario.index,
+        latency=engine_latency + recovery_delay,
+        nominal_latency=nominal_latency,
+        compute_delay=compute_latency - nominal_latency,
+        link_delay=engine_latency - compute_latency,
+        recovery_delay=recovery_delay,
+        stragglers=len(scenario.stragglers),
+        degraded_links=len(scenario.degraded_links),
+        nic_flaps=len(scenario.nic_flaps),
+        outage=scenario.outage is not None,
+    )
+
+
+def _scenario_task(payload) -> ScenarioOutcome:
+    """Module-level (picklable) worker for :func:`parallel_map` fan-out."""
+    (profiler, graph, plan, global_batch, n_layers, scenario, recovery,
+     nominal_latency) = payload
+    return simulate_scenario(
+        profiler, graph, plan, global_batch, n_layers, scenario, recovery,
+        nominal_latency,
+    )
+
+
+def build_report(
+    outcomes: Sequence[ScenarioOutcome],
+    nominal_latency: float,
+    fault_model: FaultModel,
+    seed: int,
+) -> RobustnessReport:
+    """Fold scenario outcomes into a :class:`RobustnessReport`."""
+    ordered = sorted(o.latency for o in outcomes)
+    n = len(outcomes)
+    attribution = {
+        "compute": sum(o.compute_delay for o in outcomes) / n,
+        "link": sum(o.link_delay for o in outcomes) / n,
+        "recovery": sum(o.recovery_delay for o in outcomes) / n,
+    }
+    return RobustnessReport(
+        n_scenarios=n,
+        seed=seed,
+        nominal_latency=nominal_latency,
+        p50=nearest_rank(ordered, 0.5),
+        p95=nearest_rank(ordered, 0.95),
+        p99=nearest_rank(ordered, 0.99),
+        mean_latency=sum(ordered) / n,
+        worst_latency=ordered[-1],
+        attribution=attribution,
+        expected_recovery_cost=attribution["recovery"],
+        outage_scenarios=sum(1 for o in outcomes if o.outage),
+        fault_model=fault_model,
+        outcomes=tuple(outcomes),
+    )
+
+
+def evaluate_robustness(
+    profiler: FabricProfiler,
+    graph: ComputationGraph,
+    plan: Mapping[str, PartitionSpec],
+    global_batch: int,
+    n_layers: int,
+    fault_model: FaultModel,
+    *,
+    scenarios: int = 16,
+    seed: int = 0,
+    jobs: Optional[int] = 1,
+) -> RobustnessReport:
+    """Score ``plan`` across ``scenarios`` seeded fault draws.
+
+    Deterministic by construction: scenario ``i`` is a pure function of
+    ``(seed, i)``, outcomes are merged in submission order, and percentiles
+    are nearest-rank — so the report is bit-identical serial or under any
+    ``jobs`` fan-out.
+    """
+    if scenarios < 1:
+        raise ValidationError(
+            f"scenarios must be >= 1, got {scenarios}", "scenarios"
+        )
+    with span(
+        "faults.evaluate",
+        scenarios=scenarios,
+        devices=profiler.topology.n_devices,
+    ):
+        nominal = EventDrivenSimulator(profiler).run_model(
+            graph, plan, global_batch, n_layers
+        )
+        drawn = fault_model.scenarios(
+            profiler.topology, scenarios, seed, nominal.latency
+        )
+        payloads = []
+        outcomes: List[Optional[ScenarioOutcome]] = []
+        order: List[int] = []
+        for scenario in drawn:
+            if scenario.is_nominal:
+                counter("faults.scenarios", kind="nominal").inc()
+                outcomes.append(ScenarioOutcome(
+                    index=scenario.index,
+                    latency=nominal.latency,
+                    nominal_latency=nominal.latency,
+                    compute_delay=0.0,
+                    link_delay=0.0,
+                    recovery_delay=0.0,
+                ))
+            else:
+                counter("faults.scenarios", kind="faulted").inc()
+                outcomes.append(None)
+                order.append(len(outcomes) - 1)
+                payloads.append((
+                    profiler, graph, plan, global_batch, n_layers, scenario,
+                    fault_model.recovery, nominal.latency,
+                ))
+        if payloads:
+            for position, outcome in zip(
+                order, parallel_map(_scenario_task, payloads, jobs)
+            ):
+                outcomes[position] = outcome
+        return build_report(outcomes, nominal.latency, fault_model, seed)
+
+
+# ----------------------------------------------------------------------
+# tail-latency planning
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RobustCandidate:
+    """One plan in a robust-search portfolio, scored under the fault model."""
+
+    label: str
+    plan: Dict[str, PartitionSpec]
+    score: float
+    report: RobustnessReport
+
+    def to_json(self) -> Dict[str, Any]:
+        from ..api import plan_to_json
+
+        return {
+            "label": self.label,
+            "plan": plan_to_json(self.plan),
+            "score": self.score,
+            "report": self.report.to_json(),
+        }
+
+
+@dataclass(frozen=True)
+class RobustSearchResult:
+    """A ranked plan portfolio under one fault model and tail objective."""
+
+    objective: str
+    blend: float
+    candidates: Tuple[RobustCandidate, ...]
+
+    @property
+    def best(self) -> RobustCandidate:
+        return self.candidates[0]
+
+    def to_json(self) -> Dict[str, Any]:
+        return stamp(
+            "robust_search",
+            {
+                "objective": self.objective,
+                "blend": self.blend,
+                "best": self.best.label,
+                "candidates": [c.to_json() for c in self.candidates],
+            },
+        )
+
+
+def robust_search(
+    profiler: FabricProfiler,
+    graph: ComputationGraph,
+    *,
+    global_batch: int,
+    n_layers: int,
+    fault_model: FaultModel,
+    objective: str = "p99",
+    blend: float = 0.5,
+    scenarios: int = 16,
+    seed: int = 0,
+    sim_layers: Optional[int] = None,
+    alpha: float = 0.0,
+    beam: Optional[int] = None,
+    jobs: Optional[int] = 1,
+    deadline=None,
+) -> RobustSearchResult:
+    """Rank a plan portfolio by tail latency under ``fault_model``.
+
+    The portfolio holds the PrimePar optimum with the temporal primitive,
+    the conventional (spatial-only) optimum, and the best Megatron-style
+    baseline; identical plans are evaluated once.  ``sim_layers`` bounds
+    the robustness replays (default: ``n_layers``); the plan *search*
+    always runs at ``n_layers``.
+    """
+    from ..baselines.megatron import best_megatron_plan
+    from ..core.optimizer.strategy import PrimeParOptimizer
+    from .executor import TrainingSimulator
+
+    depth = sim_layers if sim_layers else n_layers
+    with span("faults.robust_search", objective=objective):
+        portfolio: List[Tuple[str, Dict[str, PartitionSpec]]] = []
+        for label, temporal in (("primepar", True), ("conventional", False)):
+            optimizer = PrimeParOptimizer(
+                profiler,
+                alpha=alpha,
+                include_temporal=temporal,
+                beam=beam,
+                jobs=jobs or 1,
+            )
+            result = optimizer.optimize(graph, n_layers=n_layers,
+                                        deadline=deadline)
+            portfolio.append((label, dict(result.plan)))
+        megatron = best_megatron_plan(
+            TrainingSimulator(profiler), graph, global_batch, n_layers
+        )
+        portfolio.append(("megatron", dict(megatron.plan)))
+
+        candidates: List[RobustCandidate] = []
+        seen: Dict[str, RobustnessReport] = {}
+        for label, plan in portfolio:
+            fingerprint = json.dumps(
+                {name: str(spec) for name, spec in sorted(plan.items())}
+            )
+            report = seen.get(fingerprint)
+            if report is None:
+                report = evaluate_robustness(
+                    profiler, graph, plan, global_batch, depth, fault_model,
+                    scenarios=scenarios, seed=seed, jobs=jobs,
+                )
+                seen[fingerprint] = report
+            candidates.append(RobustCandidate(
+                label=label,
+                plan=plan,
+                score=report.score(objective, blend),
+                report=report,
+            ))
+        candidates.sort(key=lambda c: (c.score, c.label))
+        return RobustSearchResult(
+            objective=objective,
+            blend=blend,
+            candidates=tuple(candidates),
+        )
+
+
+def pipeline_robustness(
+    result,
+    topology: ClusterTopology,
+    fault_model: FaultModel,
+    *,
+    scenarios: int = 16,
+    seed: int = 0,
+) -> RobustnessReport:
+    """Closed-form robustness for a :class:`~repro.parallel3d.planner.Result3D`.
+
+    First-order perturbation of the analytic pipeline decomposition: the
+    pipeline is gated by its slowest stage, so compute scales by the worst
+    straggler slowdown; communication scales by the worst degraded-link
+    factor; each flap adds its un-rerouted stall serially; outages add the
+    checkpoint/restart recovery term.  Same determinism contract as
+    :func:`evaluate_robustness`.
+    """
+    nominal = result.iteration_latency
+    comm = result.pipeline.communication_latency + result.dp_allreduce_latency
+    compute = max(nominal - comm, 0.0)
+    recovery = fault_model.recovery
+    outcomes: List[ScenarioOutcome] = []
+    for scenario in fault_model.scenarios(topology, scenarios, seed, nominal):
+        worst_slow = max(
+            (s.slowdown for s in scenario.stragglers), default=1.0
+        )
+        link_factor = min(
+            (d.factor for d in scenario.degraded_links), default=1.0
+        )
+        stall = sum(
+            f.duration * (1.0 - f.reroute_factor) for f in scenario.nic_flaps
+        )
+        compute_latency = compute * worst_slow + comm
+        engine_latency = compute * worst_slow + comm / link_factor + stall
+        recovery_delay = 0.0
+        if scenario.outage is not None:
+            recovery_delay = (
+                scenario.outage.at_fraction * engine_latency
+                + scenario.outage.lost_iterations * nominal
+                + recovery.restart_seconds + recovery.replan_seconds
+            )
+        outcomes.append(ScenarioOutcome(
+            index=scenario.index,
+            latency=engine_latency + recovery_delay,
+            nominal_latency=nominal,
+            compute_delay=compute_latency - nominal,
+            link_delay=engine_latency - compute_latency,
+            recovery_delay=recovery_delay,
+            stragglers=len(scenario.stragglers),
+            degraded_links=len(scenario.degraded_links),
+            nic_flaps=len(scenario.nic_flaps),
+            outage=scenario.outage is not None,
+        ))
+    return build_report(outcomes, nominal, fault_model, seed)

@@ -1,0 +1,358 @@
+"""Fault injection and robustness scoring (:mod:`repro.sim.faults`).
+
+The contracts under test:
+
+* **Determinism** — same ``(seed, plan, fault model)`` reproduces the
+  :class:`RobustnessReport` bit-identically, serial or under any ``jobs``
+  fan-out (seeded per-scenario draws + submission-order merge).
+* **Attribution** — every scenario outcome decomposes exactly as
+  ``latency == nominal + compute_delay + link_delay + recovery_delay``.
+* **Monotonicity** — link slowdowns can never make an iteration faster
+  (seeded property over many scenarios).
+* **Zero faults** — the empty scenario is a pass-through of the stock
+  engine (the frozen-legacy half of this lives in
+  ``test_golden_engine.py``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import EventDrivenSimulator, PrimeParOptimizer, ValidationError
+from repro.cluster.profiler import FabricProfiler
+from repro.cluster.topology import v100_cluster
+from repro.graph.models import OPT_6_7B
+from repro.graph.transformer import build_block_graph
+from repro.sim.faults import (
+    DegradedLink,
+    FaultModel,
+    FaultScenario,
+    FaultyKernelGraph,
+    NicFlap,
+    RecoveryModel,
+    RobustnessReport,
+    Straggler,
+    evaluate_robustness,
+    pipeline_robustness,
+    robust_search,
+    scenario_seed,
+    simulate_scenario,
+)
+
+MIXED = FaultModel.from_spec(
+    "straggler=0.5:1.7,degrade=0.4:0.5,flap=0.5:0.002:0.25,outage=0.2"
+)
+
+
+@pytest.fixture(scope="module")
+def setting():
+    """A two-node cluster (so link faults bite) with a searched plan."""
+    profiler = FabricProfiler(v100_cluster(4, gpus_per_node=2))
+    graph = build_block_graph(OPT_6_7B.block_shape(batch=8))
+    plan = PrimeParOptimizer(profiler).optimize(graph, n_layers=4).plan
+    return profiler, graph, plan
+
+
+class TestScenarioSampling:
+    def test_scenario_seed_is_pure(self):
+        assert scenario_seed(3, 7) == scenario_seed(3, 7)
+        assert scenario_seed(3, 7) != scenario_seed(3, 8)
+        assert scenario_seed(4, 7) != scenario_seed(3, 7)
+
+    def test_sampling_is_deterministic(self, setting):
+        profiler, _, _ = setting
+        a = MIXED.scenarios(profiler.topology, 8, seed=5, horizon=0.5)
+        b = MIXED.scenarios(profiler.topology, 8, seed=5, horizon=0.5)
+        assert a == b
+        assert [s.to_json() for s in a] == [s.to_json() for s in b]
+
+    def test_different_seeds_differ(self, setting):
+        profiler, _, _ = setting
+        a = MIXED.scenarios(profiler.topology, 8, seed=5, horizon=0.5)
+        b = MIXED.scenarios(profiler.topology, 8, seed=6, horizon=0.5)
+        assert [s.to_json() for s in a] != [s.to_json() for s in b]
+
+    def test_zero_model_samples_nominal(self, setting):
+        profiler, _, _ = setting
+        model = FaultModel.from_spec("")
+        assert model.is_zero
+        for scenario in model.scenarios(profiler.topology, 4, 0, 0.5):
+            assert scenario.is_nominal
+
+    def test_scenario_round_trip(self, setting):
+        profiler, _, _ = setting
+        for scenario in MIXED.scenarios(profiler.topology, 6, 1, 0.5):
+            payload = json.loads(json.dumps(scenario.to_json()))
+            assert FaultScenario.from_json(payload) == scenario
+
+
+class TestFaultModelSpec:
+    def test_from_spec_parses_all_clauses(self):
+        model = FaultModel.from_spec(
+            "straggler=0.2:1.8,degrade=0.3:0.5,flap=0.5:0.002:0.25,"
+            "outage=0.05,ckpt=32,restart=60,replan=9"
+        )
+        assert model.straggler_rate == 0.2
+        assert model.straggler_slowdown == 1.8
+        assert model.degrade_rate == 0.3
+        assert model.degrade_factor == 0.5
+        assert model.flap_rate == 0.5
+        assert model.flap_duration == 0.002
+        assert model.flap_reroute == 0.25
+        assert model.outage_rate == 0.05
+        assert model.recovery == RecoveryModel(32, 60.0, 9.0)
+
+    def test_round_trip_and_canonical(self):
+        payload = json.loads(json.dumps(MIXED.to_json()))
+        clone = FaultModel.from_json(payload)
+        assert clone == MIXED
+        assert clone.canonical() == MIXED.canonical()
+
+    def test_bad_spec_raises_with_field(self):
+        with pytest.raises(ValidationError):
+            FaultModel.from_spec("straggler=0.2:0.5")  # slowdown < 1
+        with pytest.raises(ValidationError):
+            FaultModel.from_spec("nonsense=1")
+        with pytest.raises(ValidationError):
+            FaultModel.from_json({"straggler_rate": 0.1, "typo_key": 1})
+
+
+class TestAttribution:
+    def test_identity_holds_exactly(self, setting):
+        profiler, graph, plan = setting
+        nominal = EventDrivenSimulator(profiler, use_disk_cache=False)
+        nominal_latency = nominal.run_model(graph, plan, 8, 4).latency
+        for scenario in MIXED.scenarios(
+            profiler.topology, 8, seed=2, horizon=nominal_latency
+        ):
+            outcome = simulate_scenario(
+                profiler, graph, plan, 8, 4, scenario,
+                MIXED.recovery, nominal_latency,
+            )
+            assert outcome.latency == (
+                outcome.nominal_latency + outcome.compute_delay
+                + outcome.link_delay + outcome.recovery_delay
+            )
+            assert outcome.compute_delay >= 0.0
+            # Flap scenarios force a full multi-layer replay whose float
+            # accumulation differs from the spliced nominal by at most an
+            # ulp; the identity above still holds exactly.
+            assert outcome.link_delay >= -1e-9
+            assert outcome.recovery_delay >= 0.0
+
+
+class TestLinkSlowdownsNeverHelp:
+    """Seeded property: degraded links can only increase iteration time."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_degraded_links_monotone(self, setting, seed):
+        profiler, graph, plan = setting
+        nominal = EventDrivenSimulator(
+            profiler, use_disk_cache=False
+        ).run_model(graph, plan, 8, 4).latency
+        link_only = FaultModel.from_spec("degrade=1.0:0.4")
+        for scenario in link_only.scenarios(
+            profiler.topology, 4, seed=seed, horizon=nominal
+        ):
+            outcome = simulate_scenario(
+                profiler, graph, plan, 8, 4, scenario,
+                link_only.recovery, nominal,
+            )
+            assert outcome.latency >= nominal
+            if scenario.degraded_links:
+                assert outcome.latency > nominal
+
+    def test_flap_stall_delays_completion(self):
+        """A hard NIC outage mid-iteration parks in-flight ring flows.
+
+        Flaps modulate fabric-flow capacity, so the plan must actually
+        push flows through the flapped NIC pool — a cross-node P2x2 ring
+        (the golden suite's contended case), not a collective-only plan.
+        """
+        from repro.core.dims import Dim
+        from repro.core.spec import PartitionSpec
+        from repro.graph.graph import ComputationGraph
+        from repro.graph.operators import OpKind, OperatorSpec
+
+        fc = OperatorSpec(
+            name="fc",
+            kind=OpKind.LINEAR,
+            dim_axes={
+                Dim.B: ("batch",),
+                Dim.M: ("seq",),
+                Dim.K: ("hidden",),
+                Dim.N: ("ffn",),
+            },
+            axis_sizes={"batch": 2, "seq": 64, "hidden": 8192, "ffn": 8192},
+        )
+        graph = ComputationGraph(nodes=[fc], edges=[])
+        plan = {"fc": PartitionSpec.from_string("P2x2", 2)}
+        profiler = FabricProfiler(v100_cluster(4, gpus_per_node=2))
+        stock = EventDrivenSimulator(profiler, use_disk_cache=False)
+        report = stock.run_model(graph, plan, 2, 1)
+        assert report.breakdown.get("ring-exposed", 0.0) > 0
+        nominal = report.latency
+        scenario = FaultScenario(
+            index=0, seed=0,
+            nic_flaps=(NicFlap(node=0, start=nominal * 0.25,
+                               duration=nominal, reroute_factor=0.0),),
+        )
+        outcome = simulate_scenario(
+            profiler, graph, plan, 2, 1, scenario,
+            RecoveryModel(), nominal,
+        )
+        assert outcome.latency > nominal
+        assert outcome.link_delay > 0.0
+
+
+class TestDeterminism:
+    def test_serial_equals_parallel_bit_identical(self, setting):
+        profiler, graph, plan = setting
+        serial = evaluate_robustness(
+            profiler, graph, plan, 8, 4, MIXED,
+            scenarios=8, seed=3, jobs=1,
+        )
+        parallel = evaluate_robustness(
+            profiler, graph, plan, 8, 4, MIXED,
+            scenarios=8, seed=3, jobs=2,
+        )
+        assert serial == parallel
+        assert json.dumps(serial.to_json(), sort_keys=True) == json.dumps(
+            parallel.to_json(), sort_keys=True
+        )
+
+    def test_zero_fault_report_matches_stock_engine(self, setting):
+        profiler, graph, plan = setting
+        report = evaluate_robustness(
+            profiler, graph, plan, 8, 4, FaultModel.from_spec(""),
+            scenarios=3, seed=0,
+        )
+        stock = EventDrivenSimulator(profiler).run_model(graph, plan, 8, 4)
+        assert report.nominal_latency == stock.latency
+        assert report.p50 == stock.latency
+        assert report.p99 == stock.latency
+        assert report.attribution == {
+            "compute": 0.0, "link": 0.0, "recovery": 0.0
+        }
+
+    def test_report_round_trip(self, setting):
+        profiler, graph, plan = setting
+        report = evaluate_robustness(
+            profiler, graph, plan, 8, 4, MIXED, scenarios=4, seed=1
+        )
+        payload = json.loads(json.dumps(report.to_json()))
+        assert RobustnessReport.from_json(payload) == report
+
+
+class TestZeroFaultGraphPassThrough:
+    def test_empty_scenario_is_identity(self, setting):
+        profiler, graph, plan = setting
+        topology = profiler.topology
+        stock = EventDrivenSimulator(profiler, use_disk_cache=False)
+        faulty = EventDrivenSimulator(
+            profiler,
+            graph_factory=lambda: FaultyKernelGraph(
+                FaultScenario(index=0, seed=0), topology
+            ),
+            use_disk_cache=False,
+        )
+        a = stock.run_model(graph, plan, 8, 4)
+        b = faulty.run_model(graph, plan, 8, 4)
+        assert a == b
+
+    def test_straggler_slows_only_compute(self, setting):
+        profiler, graph, plan = setting
+        topology = profiler.topology
+        scenario = FaultScenario(
+            index=0, seed=0, stragglers=(Straggler(device=0, slowdown=2.0),)
+        )
+        faulty = EventDrivenSimulator(
+            profiler,
+            graph_factory=lambda: FaultyKernelGraph(scenario, topology),
+            use_disk_cache=False,
+        )
+        stock = EventDrivenSimulator(profiler, use_disk_cache=False)
+        assert (
+            faulty.run_model(graph, plan, 8, 4).latency
+            > stock.run_model(graph, plan, 8, 4).latency
+        )
+
+    def test_degraded_link_scales_capacity(self, setting):
+        profiler, _, _ = setting
+        topology = profiler.topology
+        scenario = FaultScenario(
+            index=0, seed=0,
+            degraded_links=(DegradedLink(node=0, factor=0.5),),
+        )
+        kg = FaultyKernelGraph(scenario, topology)
+        link = kg._link("nic:node0", 100.0)
+        assert link.capacity == pytest.approx(50.0)
+        full = kg._link("nic:node1", 100.0)
+        assert full.capacity == pytest.approx(100.0)
+
+
+class TestRobustSearch:
+    def test_portfolio_ranked_and_serializable(self, setting):
+        profiler, graph, _ = setting
+        result = robust_search(
+            profiler, graph, global_batch=8, n_layers=4,
+            fault_model=MIXED, objective="p99", scenarios=4, seed=0,
+        )
+        assert result.candidates
+        scores = [c.score for c in result.candidates]
+        assert scores == sorted(scores)
+        assert result.best.label == result.candidates[0].label
+        doc = json.loads(json.dumps(result.to_json()))
+        assert doc["kind"] == "robust_search"
+        assert doc["best"] == result.best.label
+
+    def test_objective_validation(self, setting):
+        profiler, graph, plan = setting
+        report = evaluate_robustness(
+            profiler, graph, plan, 8, 4, MIXED, scenarios=2, seed=0
+        )
+        with pytest.raises(ValidationError):
+            report.score("p42")
+        blended = report.score("blend", blend=0.25)
+        assert blended == pytest.approx(
+            0.75 * report.nominal_latency + 0.25 * report.p99
+        )
+
+
+class TestPipelineRobustness:
+    def test_closed_form_reports_deterministic(self):
+        from repro import Planner3D
+
+        planner = Planner3D(OPT_6_7B, n_devices=8, global_batch=8)
+        ranked = planner.sweep_robust(
+            "megatron", MIXED, objective="p99", scenarios=4, seed=0
+        )
+        assert ranked
+        scores = [score for _, _, score in ranked]
+        assert scores == sorted(scores)
+        again = planner.sweep_robust(
+            "megatron", MIXED, objective="p99", scenarios=4, seed=0
+        )
+        assert [
+            (str(r.config), report.to_json(), score)
+            for r, report, score in ranked
+        ] == [
+            (str(r.config), report.to_json(), score)
+            for r, report, score in again
+        ]
+
+    def test_pipeline_report_attribution_identity(self):
+        from repro import Planner3D
+
+        planner = Planner3D(OPT_6_7B, n_devices=8, global_batch=8)
+        result = planner.sweep("megatron")[0]
+        report = pipeline_robustness(
+            result, v100_cluster(8), MIXED, scenarios=8, seed=1
+        )
+        for outcome in report.outcomes:
+            assert outcome.latency == pytest.approx(
+                outcome.nominal_latency + outcome.compute_delay
+                + outcome.link_delay + outcome.recovery_delay
+            )

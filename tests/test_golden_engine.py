@@ -268,6 +268,54 @@ class TestGoldenPipeline:
             assert report.timeline.records == golden.timeline.records
 
 
+class TestGoldenZeroFault:
+    """The fault layer's empty scenario is a pass-through: bit-identical to
+    the *frozen pre-PR* engine, not merely to today's optimised engine, so
+    zero-fault robustness runs inherit the full golden guarantee."""
+
+    @staticmethod
+    def zero_fault_simulator(profiler):
+        from repro.sim.faults import FaultScenario, FaultyKernelGraph
+
+        topology = profiler.topology
+        scenario = FaultScenario(index=0, seed=0)
+        assert scenario.is_nominal
+        return EventDrivenSimulator(
+            profiler,
+            graph_factory=lambda: FaultyKernelGraph(scenario, topology),
+            use_disk_cache=False,
+        )
+
+    def test_zero_fault_megatron_matches_legacy(self, profiler8, large_block):
+        plan = megatron_plan(large_block, 3, dp_degree=2)
+        golden, _ = simulators(profiler8)
+        faulty = self.zero_fault_simulator(profiler8)
+        assert_reports_identical(
+            golden.run(large_block, plan, 8),
+            faulty.run(large_block, plan, 8),
+        )
+
+    def test_zero_fault_contended_matches_legacy(self):
+        profiler, graph, plan, batch = contended_case()
+        golden, _ = simulators(profiler)
+        faulty = self.zero_fault_simulator(profiler)
+        report_golden = golden.run(graph, plan, batch)
+        report_faulty = faulty.run(graph, plan, batch)
+        # The scenario must exercise the fluid-contention override.
+        assert report_golden.breakdown.get("ring-exposed", 0.0) > 0
+        assert_reports_identical(report_golden, report_faulty)
+
+    def test_zero_fault_run_model_matches_legacy(self, profiler8, large_block):
+        plan = megatron_plan(large_block, 3, dp_degree=2)
+        golden, _ = simulators(profiler8)
+        legacy_scaled = golden.run(large_block, plan, 8).scaled_to_layers(4, 8)
+        faulty = self.zero_fault_simulator(profiler8)
+        assert_reports_identical(
+            legacy_scaled,
+            faulty.run_model(large_block, plan, 8, n_layers=4),
+        )
+
+
 class TestOnlineStatsMatchScan:
     def test_busy_fractions_equal_timeline_scan(self):
         """Online per-device busy accumulation == the post-hoc scan."""

@@ -930,6 +930,86 @@ class TestExplainHTTP:
         assert stored["endpoint"] == "/v1/explain"
 
 
+class TestRobustnessHTTP:
+    FAULTS = "straggler=0.5:1.5,outage=0.5,ckpt=16,restart=30,replan=5"
+
+    def _request(self, **overrides):
+        from repro.api import RobustnessRequest
+
+        body = {
+            "model": MODEL, "devices": 2, "batch": 8,
+            "faults": self.FAULTS, "scenarios": 4, "seed": 0,
+            "objective": "p99", "layers": 2,
+        }
+        body.update(overrides)
+        return RobustnessRequest.from_json(body)
+
+    def test_service_scores_under_requested_objective(
+        self, fresh_cache, registry
+    ):
+        service = _service()
+        payload = service.robustness(self._request())
+        assert payload["source"] == "computed"
+        assert payload["plan_source"] == "computed"
+        assert payload["objective"] == "p99"
+        assert payload["layers"] == 2
+        report = payload["report"]
+        assert payload["score"] == report["p99"]
+        assert report["p99"] >= report["p50"] >= 0.0
+        assert report["nominal_latency"] > 0.0
+        assert counter("serve.robustness").value == 1
+        # The plan itself came through the two-tier store: a repeat call
+        # recomputes the Monte-Carlo sweep (no disk tier for robustness)
+        # but finds the plan warm, and the result is bit-identical.
+        again = service.robustness(self._request())
+        assert again["plan_source"] == "memory"
+        assert again["score"] == payload["score"]
+        assert again["report"] == report
+
+    def test_http_round_trip_and_report_rehydration(self, server):
+        from repro.sim.faults import RobustnessReport
+
+        client = PlanClient(server.url)
+        response = client.robustness(self._request())
+        assert response.source == "computed"
+        assert response.objective == "p99"
+        assert response.devices == 2
+        assert response.score == response.report["p99"]
+        rehydrated = response.report_object()
+        assert isinstance(rehydrated, RobustnessReport)
+        assert rehydrated.p99 == response.score
+        assert rehydrated.score("p99") == response.score
+
+    def test_blend_objective_interpolates(self, server):
+        client = PlanClient(server.url)
+        p99 = client.robustness(self._request(objective="p99"))
+        nominal = client.robustness(self._request(objective="nominal"))
+        blended = client.robustness(
+            self._request(objective="blend", blend=0.5)
+        )
+        expected = 0.5 * nominal.score + 0.5 * p99.score
+        assert blended.score == pytest.approx(expected, rel=1e-12)
+
+    def test_malformed_fault_spec_is_400(self, server):
+        client = PlanClient(server.url)
+        with pytest.raises(ServeError) as err:
+            client.robustness(self._request(faults="gremlins=3"))
+        assert err.value.status == 400
+        with pytest.raises(ServeError) as objective_err:
+            client._json(
+                "POST", "/v1/robustness",
+                {**self._request().to_json(), "objective": "p42"},
+            )
+        assert objective_err.value.status == 400
+
+    def test_robustness_is_traced(self, server):
+        client = PlanClient(server.url)
+        client.robustness(self._request(), trace_id="robust-trace-1")
+        stored = _wait_for(lambda: client.trace("robust-trace-1"))
+        assert stored["endpoint"] == "/v1/robustness"
+        assert stored["status"] == 200
+
+
 # ----------------------------------------------------------------------
 # CLI surface: cache tiers + serve flags
 # ----------------------------------------------------------------------

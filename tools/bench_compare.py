@@ -2,8 +2,8 @@
 """Diff benchmark JSON against checked-in baselines, with teeth.
 
 The repo checks full-run benchmark results into ``benchmarks/results/``
-(``BENCH_serve.json``, ``BENCH_sim_speed.json``).  This tool turns them
-into a regression gate:
+(``BENCH_serve.json``, ``BENCH_sim_speed.json``, ``BENCH_robustness.json``).
+This tool turns them into a regression gate:
 
 * **full mode** (default) — compare a current run's file against the
   baseline of the same name, metric by metric, failing when a metric
@@ -52,6 +52,14 @@ THRESHOLDS: List[Tuple[str, str, str, float]] = [
      "lower_worse", 0.50),
     ("BENCH_sim_speed.json", "fig9_pipeline_replay.speedup_warm",
      "lower_worse", 0.50),
+    # The robustness metrics are deterministic simulation outputs (seeded
+    # scenarios, nearest-rank percentiles) — any drift is a model change,
+    # so the tolerance is tight rather than a noise allowance.
+    ("BENCH_robustness.json", "nominal_latency", "higher_worse", 0.02),
+    ("BENCH_robustness.json", "fault_classes.mixed.p99",
+     "higher_worse", 0.02),
+    ("BENCH_robustness.json", "fault_classes.compute.p99",
+     "higher_worse", 0.02),
 ]
 
 #: Exact invariants that must hold in *every* run (full or baseline).
@@ -61,6 +69,7 @@ INVARIANTS: List[Tuple[str, str, Any]] = [
     ("BENCH_sim_speed.json", "block_replay[*].identical", True),
     ("BENCH_sim_speed.json", "contended_replay.identical", True),
     ("BENCH_sim_speed.json", "fig9_pipeline_replay.identical", True),
+    ("BENCH_robustness.json", "determinism.serial_equals_parallel", True),
 ]
 
 #: Smoke-mode absolute bounds on the current run: (file, path, op, bound).
@@ -69,6 +78,7 @@ SMOKE_BOUNDS: List[Tuple[str, str, str, float]] = [
     ("BENCH_serve.json", "tracing.p95_ms", "<", 50.0),
     ("BENCH_serve.json", "throughput.rps", ">", 1.0),
     ("BENCH_sim_speed.json", "contended_replay.speedup_warm", ">", 1.0),
+    ("BENCH_robustness.json", "nominal_latency", ">", 0.0),
 ]
 
 
